@@ -1,0 +1,39 @@
+# phasemon build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench experiments extensions csv clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper table/figure at full length.
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+# The beyond-the-paper studies (DTM, power caps, ablations, ...).
+extensions:
+	$(GO) run ./cmd/experiments -run extensions
+
+# Machine-readable figure datasets for plotting.
+csv:
+	$(GO) run ./cmd/experiments -run headline -csvdir out/figures
+
+clean:
+	$(GO) clean ./...
+	rm -rf out

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"phasemon/internal/core"
+	"phasemon/internal/cpufreq"
+	"phasemon/internal/perfevent"
+	"phasemon/internal/phase"
+)
+
+// runLive is the real-hardware deployment: live counters in
+// (perf_event_open), live frequency settings out (cpufreq sysfs) —
+// the paper's complete loop in userspace. It needs counter access and
+// a writable `userspace` cpufreq governor; each missing capability is
+// reported plainly.
+func runLive(dur, period time.Duration, pid, depth, entries int) error {
+	if err := perfevent.Available(); err != nil {
+		return fmt.Errorf("live mode needs hardware counters: %w", err)
+	}
+	iface, err := cpufreq.Open(cpufreq.DefaultConfig())
+	if err != nil {
+		return fmt.Errorf("live mode needs the cpufreq interface: %w", err)
+	}
+	act, err := cpufreq.NewActuator(iface)
+	if err != nil {
+		return err
+	}
+	if gov, err := iface.Governor(); err == nil && gov != "userspace" {
+		fmt.Printf("note: scaling governor is %q; frequency writes need `userspace`\n", gov)
+	}
+
+	cls := phase.Default()
+	pred, err := core.NewGPHT(core.GPHTConfig{
+		GPHRDepth: depth, PHTEntries: entries, NumPhases: cls.NumPhases(),
+	})
+	if err != nil {
+		return err
+	}
+	mon, err := core.NewMonitor(cls, pred)
+	if err != nil {
+		return err
+	}
+
+	g, err := perfevent.Open(pid)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	stop := make(chan struct{})
+	samples, err := g.Samples(stop, period)
+	if err != nil {
+		return err
+	}
+	timer := time.AfterFunc(dur, func() { close(stop) })
+	defer timer.Stop()
+
+	fmt.Printf("live governing pid %d for %v over %d frequency settings\n", pid, dur, act.Len())
+	fmt.Println("interval  miss/instr   phase   next   setting[kHz]")
+	i := 0
+	for s := range samples {
+		actual, next := mon.Step(s)
+		setting := settingFor(next, cls.NumPhases(), act.Len())
+		applyErr := act.Set(setting)
+		khz, _ := act.FrequencyKHz(setting)
+		status := ""
+		if applyErr != nil {
+			status = "  (set failed: " + applyErr.Error() + ")"
+		}
+		fmt.Printf("%8d  %10.5f   %-5s   %-5s  %11d%s\n", i, s.MemPerUop, actual, next, khz, status)
+		i++
+	}
+	if acc, err := mon.Tally().Accuracy(); err == nil {
+		fmt.Printf("\nlive prediction accuracy over %d intervals: %.1f%%\n", i, acc*100)
+	}
+	return nil
+}
+
+// settingFor spreads the phase range across however many settings the
+// real ladder exposes: phase 1 at the fastest, the top phase at the
+// slowest, linear in between.
+func settingFor(p phase.ID, numPhases, numSettings int) int {
+	if numSettings < 1 {
+		return 0
+	}
+	if !p.Valid(numPhases) || numPhases < 2 {
+		return 0
+	}
+	return int(p-1) * (numSettings - 1) / (numPhases - 1)
+}

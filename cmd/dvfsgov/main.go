@@ -1,0 +1,123 @@
+// Command dvfsgov runs dynamic power management guided by runtime
+// phase prediction — the paper's full deployed system — and reports
+// power/performance against the unmanaged baseline.
+//
+// Usage:
+//
+//	dvfsgov -bench applu_in
+//	dvfsgov -bench equake_in -policy reactive
+//	dvfsgov -bench swim_in -compare
+//	dvfsgov -bench applu_in -bound 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phasemon/internal/cpusim"
+	"phasemon/internal/dvfs"
+	"phasemon/internal/governor"
+	"phasemon/internal/machine"
+	"phasemon/internal/phase"
+	"phasemon/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "applu_in", "benchmark name")
+		policy    = flag.String("policy", "gpht", "management policy: gpht, reactive, oracle")
+		depth     = flag.Int("depth", 8, "GPHT history depth")
+		entries   = flag.Int("entries", 128, "GPHT pattern-table entries")
+		intervals = flag.Int("intervals", 0, "run length in sampling intervals (0 = benchmark default)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		compare   = flag.Bool("compare", false, "run baseline, reactive and GPHT side by side")
+		bound     = flag.Float64("bound", 0, "if > 0, use conservative phase definitions bounding degradation at this fraction (Section 6.3)")
+		live      = flag.Duration("live", 0, "govern REAL hardware (perf_event_open + cpufreq) for this duration instead of the simulated platform")
+		livePid   = flag.Int("pid", 0, "process to monitor in -live mode (0 = this process)")
+		liveEvery = flag.Duration("period", 100*time.Millisecond, "sampling period in -live mode")
+	)
+	flag.Parse()
+
+	if *live > 0 {
+		if err := runLive(*live, *liveEvery, *livePid, *depth, *entries); err != nil {
+			fmt.Fprintln(os.Stderr, "dvfsgov:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*bench, *policy, *depth, *entries, *intervals, *seed, *compare, *bound); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsgov:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, policy string, depth, entries, intervals int, seed int64, compare bool, bound float64) error {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	gen := prof.Generator(workload.Params{Seed: seed, Intervals: intervals})
+
+	cfg := governor.Config{}
+	if bound > 0 {
+		model := cpusim.New(cpusim.DefaultConfig())
+		slow := func(mem, coreUPC, f, fmax float64) float64 {
+			return model.SlowdownMLP(mem, coreUPC, 2.0, f, fmax)
+		}
+		tr, err := dvfs.DeriveBounded(dvfs.PentiumM(), phase.Default(), slow, bound, 1.5)
+		if err != nil {
+			return err
+		}
+		cfg.Translation = tr
+		fmt.Printf("conservative translation for a %.0f%% degradation bound:\n%s\n",
+			bound*100, tr.Describe(phase.Default()))
+	}
+
+	pols := []governor.Policy{governor.Unmanaged()}
+	switch {
+	case compare:
+		pols = append(pols, governor.Reactive(), governor.Proactive(depth, entries))
+	case policy == "gpht":
+		pols = append(pols, governor.Proactive(depth, entries))
+	case policy == "reactive":
+		pols = append(pols, governor.Reactive())
+	case policy == "oracle":
+		future, err := governor.FuturePhases(gen, nil, machine.New(machine.Config{}))
+		if err != nil {
+			return err
+		}
+		pols = append(pols, governor.Oracle(future))
+	default:
+		return fmt.Errorf("unknown policy %q (gpht, reactive, oracle)", policy)
+	}
+
+	results := make([]*governor.Result, len(pols))
+	for i, p := range pols {
+		r, err := governor.Run(gen, p, cfg)
+		if err != nil {
+			return err
+		}
+		results[i] = r
+	}
+
+	base := results[0]
+	fmt.Printf("benchmark: %s (%s)\n\n", prof.Name, prof.Quadrant)
+	fmt.Printf("%-16s %10s %10s %8s %12s %9s %9s %9s %8s\n",
+		"policy", "time[s]", "energy[J]", "BIPS", "EDP[Js]", "EDPimpr", "perfdeg", "powersav", "acc")
+	for _, r := range results {
+		acc := "-"
+		if a, err := r.Accuracy.Accuracy(); err == nil {
+			acc = fmt.Sprintf("%.1f%%", a*100)
+		}
+		fmt.Printf("%-16s %10.3f %10.2f %8.3f %12.2f %8.1f%% %8.1f%% %8.1f%% %8s\n",
+			r.Policy, r.Run.TimeS, r.Run.EnergyJ, r.Run.BIPS(), r.EDP(),
+			governor.EDPImprovement(base, r)*100,
+			governor.PerformanceDegradation(base, r)*100,
+			governor.PowerSavings(base, r)*100,
+			acc)
+	}
+	return nil
+}

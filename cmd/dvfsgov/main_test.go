@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"phasemon/internal/phase"
+)
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"gpht", "reactive", "oracle"} {
+		if err := run("applu_in", policy, 8, 128, 40, 1, false, 0); err != nil {
+			t.Errorf("policy %s: %v", policy, err)
+		}
+	}
+}
+
+func TestRunCompareMode(t *testing.T) {
+	if err := run("swim_in", "gpht", 8, 128, 40, 1, true, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBoundedMode(t *testing.T) {
+	if err := run("applu_in", "gpht", 8, 128, 40, 1, false, 0.05); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("no_such", "gpht", 8, 128, 10, 1, false, 0); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run("applu_in", "bogus", 8, 128, 10, 1, false, 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run("applu_in", "gpht", 0, 128, 10, 1, false, 0); err == nil {
+		t.Error("invalid GPHT geometry accepted")
+	}
+}
+
+func TestSettingForSpreadsPhases(t *testing.T) {
+	// Six phases over six settings: identity.
+	for p := 1; p <= 6; p++ {
+		if got := settingFor(phase.ID(p), 6, 6); got != p-1 {
+			t.Errorf("settingFor(%d,6,6) = %d", p, got)
+		}
+	}
+	// Six phases over two settings: bottom half fast, top half slow.
+	if settingFor(1, 6, 2) != 0 || settingFor(6, 6, 2) != 1 {
+		t.Error("two-setting spread wrong at extremes")
+	}
+	// Degenerate inputs stay at the fastest setting.
+	if settingFor(0, 6, 6) != 0 || settingFor(3, 1, 6) != 0 || settingFor(3, 6, 0) != 0 {
+		t.Error("degenerate inputs not clamped")
+	}
+	// Never out of range for any combination.
+	for p := 1; p <= 6; p++ {
+		for n := 1; n <= 10; n++ {
+			s := settingFor(phase.ID(p), 6, n)
+			if s < 0 || s >= n {
+				t.Fatalf("settingFor(%d,6,%d) = %d out of range", p, n, s)
+			}
+		}
+	}
+}

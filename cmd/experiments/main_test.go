@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestSelectRunners(t *testing.T) {
+	all, err := selectRunners("all")
+	if err != nil || len(all) < 13 {
+		t.Fatalf("all: %d runners, %v", len(all), err)
+	}
+	ext, err := selectRunners("extensions")
+	if err != nil || len(ext) < 10 {
+		t.Fatalf("extensions: %d runners, %v", len(ext), err)
+	}
+	everything, err := selectRunners("everything")
+	if err != nil || len(everything) != len(all)+len(ext) {
+		t.Fatalf("everything: %d runners, %v", len(everything), err)
+	}
+	list, err := selectRunners("fig4, table1")
+	if err != nil || len(list) != 2 || list[0].Name != "fig4" || list[1].Name != "table1" {
+		t.Fatalf("list: %+v, %v", list, err)
+	}
+	if _, err := selectRunners("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := selectRunners("fig4,bogus"); err == nil {
+		t.Error("partially unknown list accepted")
+	}
+}

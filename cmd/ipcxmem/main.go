@@ -1,0 +1,79 @@
+// Command ipcxmem runs the paper's IPCxMEM characterization suite:
+// configurable microbenchmarks pinning (UPC, Mem/Uop) coordinates,
+// used to map the exploration space (Figure 6) and to verify that
+// Mem/Uop is DVFS-invariant while UPC is not (Figure 7).
+//
+// Usage:
+//
+//	ipcxmem -grid                 # print the full grid (Figure 6)
+//	ipcxmem -sweep                # frequency sweep of the Figure 7 configs
+//	ipcxmem -upc 0.5 -mem 0.0225  # sweep one configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phasemon/internal/cpusim"
+	"phasemon/internal/workload"
+)
+
+func main() {
+	var (
+		grid  = flag.Bool("grid", false, "print the IPCxMEM configuration grid and SPEC boundary")
+		sweep = flag.Bool("sweep", false, "frequency-sweep the Figure 7 legend configurations")
+		upc   = flag.Float64("upc", 0, "target UPC for a single-configuration sweep")
+		mem   = flag.Float64("mem", 0, "target Mem/Uop for a single-configuration sweep")
+	)
+	flag.Parse()
+
+	model := cpusim.New(cpusim.DefaultConfig())
+	switch {
+	case *grid:
+		printGrid()
+	case *sweep:
+		for _, p := range workload.Figure7Points() {
+			if err := sweepOne(model, p.UPC, p.MemPerUop); err != nil {
+				fmt.Fprintln(os.Stderr, "ipcxmem:", err)
+				os.Exit(1)
+			}
+		}
+	case *upc > 0:
+		if err := sweepOne(model, *upc, *mem); err != nil {
+			fmt.Fprintln(os.Stderr, "ipcxmem:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printGrid() {
+	grid := workload.IPCxMEMGrid()
+	fmt.Printf("IPCxMEM grid: %d configurations\n\n", len(grid))
+	fmt.Println("   upc    mem/uop   boundary")
+	for _, g := range grid {
+		fmt.Printf("  %4.1f    %.4f     %.3f\n", g.UPC, g.MemPerUop, workload.SPECBoundary(g.MemPerUop))
+	}
+}
+
+func sweepOne(model *cpusim.Model, upc, mem float64) error {
+	const fmax = 1.5e9
+	work, err := model.GridWork(upc, mem, fmax, 100e6)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("configuration: UPC=%.2f Mem/Uop=%.4f at 1500 MHz\n", upc, mem)
+	fmt.Println("  freq[MHz]   observed UPC   observed Mem/Uop   time/interval[ms]")
+	for _, f := range []float64{1500e6, 1400e6, 1200e6, 1000e6, 800e6, 600e6} {
+		r, err := model.Execute(work, f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %9.0f   %12.4f   %16.4f   %17.2f\n", f/1e6, r.UPC, r.MemPerUop, r.Time*1e3)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"phasemon/internal/cpusim"
+	"phasemon/internal/workload"
+)
+
+func TestSweepOne(t *testing.T) {
+	model := cpusim.New(cpusim.DefaultConfig())
+	if err := sweepOne(model, 0.5, 0.0225); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweepOne(model, -1, 0.0225); err == nil {
+		t.Error("invalid target accepted")
+	}
+}
+
+func TestSweepAllFigure7Points(t *testing.T) {
+	model := cpusim.New(cpusim.DefaultConfig())
+	for _, p := range workload.Figure7Points() {
+		if err := sweepOne(model, p.UPC, p.MemPerUop); err != nil {
+			t.Errorf("(%v, %v): %v", p.UPC, p.MemPerUop, err)
+		}
+	}
+}
+
+func TestPrintGrid(t *testing.T) {
+	// Smoke test: must not panic and the grid must be non-empty.
+	printGrid()
+	if len(workload.IPCxMEMGrid()) == 0 {
+		t.Fatal("empty grid")
+	}
+}

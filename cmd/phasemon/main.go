@@ -1,0 +1,229 @@
+// Command phasemon runs live phase monitoring and prediction on a
+// synthetic SPEC2000 workload, reproducing the paper's
+// monitoring-only deployment: the PMI-driven kernel module samples the
+// counters every 100M uops, classifies each interval, and predicts the
+// next phase — with no DVFS actuation.
+//
+// Usage:
+//
+//	phasemon -list
+//	phasemon -bench applu_in
+//	phasemon -bench equake_in -predictor lastvalue -intervals 2000
+//	phasemon -bench applu_in -csv applu.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phasemon/internal/analysis"
+	"phasemon/internal/core"
+	"phasemon/internal/dvfs"
+	"phasemon/internal/kernelsim"
+	"phasemon/internal/machine"
+	"phasemon/internal/phase"
+	"phasemon/internal/workload"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "applu_in", "benchmark name")
+		predictor = flag.String("predictor", "gpht", "predictor: gpht, lastvalue, fixwindow, varwindow")
+		depth     = flag.Int("depth", 8, "GPHT history depth")
+		entries   = flag.Int("entries", 128, "GPHT pattern-table entries")
+		window    = flag.Int("window", 128, "fixed/variable window size")
+		threshold = flag.Float64("threshold", 0.005, "variable-window transition threshold")
+		intervals = flag.Int("intervals", 0, "run length in sampling intervals (0 = benchmark default)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		csvPath   = flag.String("csv", "", "write the per-interval trace to this CSV file")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		verbose   = flag.Bool("v", false, "with -list, include quadrant and description")
+		live      = flag.Duration("live", 0, "monitor REAL hardware counters (perf_event_open) for this duration instead of the simulated platform")
+		livePid   = flag.Int("pid", 0, "process to monitor in -live mode (0 = this process)")
+		liveEvery = flag.Duration("period", 100*time.Millisecond, "sampling period in -live mode")
+		liveLoad  = flag.Bool("liveload", true, "generate a synthetic phase-alternating load in -live self-monitoring mode")
+		phases    = flag.String("phases", "", "custom Mem/Uop phase boundaries, comma-separated (default: the paper's Table 1)")
+		analyze   = flag.Bool("analyze", false, "print stream-structure analysis (entropy, runs, predictability ceiling) after the run")
+	)
+	flag.Parse()
+
+	if *list {
+		if *verbose {
+			for _, p := range workload.All() {
+				fmt.Printf("%-18s %s  %s\n", p.Name, p.Quadrant, p.Description)
+			}
+		} else {
+			for _, n := range workload.Names() {
+				fmt.Println(n)
+			}
+		}
+		return
+	}
+
+	if *live > 0 {
+		cls, err := classifierFor(*phases)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phasemon:", err)
+			os.Exit(1)
+		}
+		var pred core.Predictor
+		pred, err = buildPredictor(*predictor, *depth, *entries, *window, *threshold, cls)
+		if err == nil {
+			err = runLive(pred, *live, *liveEvery, *livePid, *liveLoad && *livePid == 0)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phasemon:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*bench, *predictor, *phases, *depth, *entries, *window, *threshold, *intervals, *seed, *csvPath, *analyze); err != nil {
+		fmt.Fprintln(os.Stderr, "phasemon:", err)
+		os.Exit(1)
+	}
+}
+
+func buildPredictor(kind string, depth, entries, window int, threshold float64, cls phase.Classifier) (core.Predictor, error) {
+	switch kind {
+	case "gpht":
+		return core.NewGPHT(core.GPHTConfig{GPHRDepth: depth, PHTEntries: entries, NumPhases: cls.NumPhases()})
+	case "lastvalue":
+		return core.NewLastValue(), nil
+	case "fixwindow":
+		return core.NewFixedWindow(window, core.ModeMajority, cls)
+	case "varwindow":
+		return core.NewVariableWindow(window, threshold)
+	default:
+		return nil, fmt.Errorf("unknown predictor %q (gpht, lastvalue, fixwindow, varwindow)", kind)
+	}
+}
+
+// classifierFor resolves the -phases flag.
+func classifierFor(spec string) (*phase.Table, error) {
+	if spec == "" {
+		return phase.Default(), nil
+	}
+	return phase.ParseTable("custom", spec)
+}
+
+func run(bench, predictor, phases string, depth, entries, window int, threshold float64, intervals int, seed int64, csvPath string, analyze bool) error {
+	prof, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	cls, err := classifierFor(phases)
+	if err != nil {
+		return err
+	}
+	pred, err := buildPredictor(predictor, depth, entries, window, threshold, cls)
+	if err != nil {
+		return err
+	}
+	mon, err := core.NewMonitor(cls, pred)
+	if err != nil {
+		return err
+	}
+	mod, err := kernelsim.NewModule(kernelsim.Config{Monitor: mon})
+	if err != nil {
+		return err
+	}
+	m := machine.New(machine.Config{})
+	if err := mod.Load(m); err != nil {
+		return err
+	}
+	gen := prof.Generator(workload.Params{Seed: seed, Intervals: intervals})
+	res, err := m.Run(gen, mod)
+	if err != nil {
+		return err
+	}
+
+	acc, err := mon.Tally().Accuracy()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmark:            %s (%s)\n", prof.Name, prof.Quadrant)
+	fmt.Printf("predictor:            %s\n", pred.Name())
+	fmt.Printf("intervals sampled:    %d (%.0fM uops each)\n", mod.Samples(), 100.0)
+	fmt.Printf("simulated time:       %.2f s\n", res.TimeS)
+	fmt.Printf("prediction accuracy:  %.2f%%\n", acc*100)
+	fmt.Printf("handler overhead:     %.5f%% of run time, %d budget violations\n",
+		m.OverheadFraction()*100, mod.BudgetViolations())
+
+	fmt.Println("\nper-phase accuracy:")
+	for p := 1; p <= cls.NumPhases(); p++ {
+		if a, ok := mon.Confusion().PerPhaseAccuracy(phase.ID(p)); ok {
+			fmt.Printf("  %s: %.1f%%\n", phase.ID(p), a*100)
+		}
+	}
+
+	if analyze {
+		if err := printAnalysis(mod, cls); err != nil {
+			return err
+		}
+	}
+
+	if csvPath != "" {
+		if err := writeCSV(csvPath, mod); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace written to %s\n", csvPath)
+	}
+	return nil
+}
+
+// printAnalysis reduces the kernel log with the analysis package: the
+// offline evaluation a user-level tool performs.
+func printAnalysis(mod *kernelsim.Module, cls *phase.Table) error {
+	entries := mod.ReadLog()
+	stream := make([]phase.ID, len(entries))
+	for i, e := range entries {
+		stream[i] = e.Actual
+	}
+	n := cls.NumPhases()
+	ent, err := analysis.Entropy(stream, n)
+	if err != nil {
+		return err
+	}
+	tr, err := analysis.NewTransitions(stream, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nstream structure:\n")
+	fmt.Printf("  entropy:            %.2f bits\n", ent)
+	fmt.Printf("  self-loop fraction: %.1f%% (last-value ceiling)\n", tr.SelfLoopFraction()*100)
+	if n <= 15 {
+		bound, err := analysis.PredictabilityBound(stream, n, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  order-8 ceiling:    %.1f%%\n", bound*100)
+	}
+	runs, err := analysis.Runs(stream, n)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  runs per phase:")
+	for _, r := range runs {
+		if r.Count == 0 {
+			continue
+		}
+		fmt.Printf("    %s: %d runs, mean %.1f, max %d\n", r.Phase, r.Count, r.MeanLen, r.MaxLen)
+	}
+	return nil
+}
+
+func writeCSV(path string, mod *kernelsim.Module) error {
+	log := kernelsim.ToTrace(mod.ReadLog(), dvfs.PentiumM())
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := log.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

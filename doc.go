@@ -1,0 +1,33 @@
+// Package phasemon is a full reproduction, in pure Go, of
+//
+//	Canturk Isci, Gilberto Contreras, Margaret Martonosi.
+//	"Live, Runtime Phase Monitoring and Prediction on Real Systems
+//	 with Application to Dynamic Power Management." MICRO-39, 2006.
+//
+// The module contains the paper's contribution — a live, runtime phase
+// predictor built around a Global Phase History Table (GPHT) — plus
+// every substrate it deploys on: a Pentium-M-like timing and power
+// model, performance monitoring counters with PMI, an LKM-style
+// interrupt handler, a SpeedStep DVFS controller, a DAQ power
+// measurement chain, and synthetic SPEC CPU2000 workloads.
+//
+// Layout:
+//
+//	internal/core        GPHT + baseline predictors + monitor (the contribution)
+//	internal/phase       phase definitions and classification (Table 1)
+//	internal/dvfs        operating points, translations, controller (Table 2)
+//	internal/cpusim      analytic timing model (Section 4 invariances)
+//	internal/power       CMOS power model, energy/EDP accounting
+//	internal/pmc         performance counters + PMI
+//	internal/kernelsim   the loadable kernel module (Figure 8 flow)
+//	internal/machine     the assembled platform (Figure 9)
+//	internal/daq         sense resistors + DAQ + logging machine
+//	internal/workload    SPEC2000 synthetic profiles + IPCxMEM suite
+//	internal/governor    unmanaged/reactive/proactive DVFS management
+//	internal/experiments one runner per paper table and figure
+//	cmd/...              phasemon, dvfsgov, ipcxmem, experiments binaries
+//	examples/...         runnable public-API walkthroughs
+//
+// See README.md for usage, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for measured-vs-paper results.
+package phasemon

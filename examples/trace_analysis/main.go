@@ -1,0 +1,102 @@
+// Trace analysis: run the deployed system once, then analyze its
+// kernel log offline — the evaluation workflow of the paper's
+// Section 5.4, plus the structural analyses this repo adds on top:
+// transition structure, entropy, the order-k predictability ceiling,
+// learning curves, and a data-driven phase-count suggestion.
+//
+// Run with: go run ./examples/trace_analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phasemon/internal/analysis"
+	"phasemon/internal/core"
+	"phasemon/internal/cpusim"
+	"phasemon/internal/governor"
+	"phasemon/internal/phase"
+	"phasemon/internal/workload"
+)
+
+func main() {
+	prof, err := workload.ByName("applu_in")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := prof.Generator(workload.Params{Seed: 1, Intervals: 2000})
+
+	// 1. Run the managed system and keep its kernel log.
+	res, err := governor.Run(gen, governor.Proactive(8, 128), governor.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream := make([]phase.ID, len(res.Log))
+	for i, e := range res.Log {
+		stream[i] = e.Actual
+	}
+	fmt.Printf("workload: %s — %s\n\n", prof.Name, prof.Description)
+
+	// 2. Structure of the phase stream.
+	ent, err := analysis.Entropy(stream, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := analysis.NewTransitions(stream, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stream entropy:        %.2f bits\n", ent)
+	fmt.Printf("self-loop fraction:    %.1f%% (= last-value accuracy)\n", tr.SelfLoopFraction()*100)
+
+	runs, err := analysis.Runs(stream, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-phase runs:")
+	for _, r := range runs {
+		if r.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %s: %4d runs, mean %.1f, max %d intervals\n", r.Phase, r.Count, r.MeanLen, r.MaxLen)
+	}
+
+	// 3. How close is the deployed GPHT to the theoretical ceiling?
+	bound, err := analysis.PredictabilityBound(stream, 6, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := res.Accuracy.Accuracy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGPHT accuracy:         %.1f%%\n", acc*100)
+	fmt.Printf("order-8 ceiling:       %.1f%%\n", bound*100)
+
+	// 4. Learning curve: accuracy per 100-interval window.
+	works := workload.Collect(prof.Generator(workload.Params{Seed: 1, Intervals: 2000}), 0)
+	obs, err := core.ObservationsFromWork(cpusim.New(cpusim.DefaultConfig()), works, phase.Default(), 1.5e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	series, err := core.AccuracySeries(core.MustNewGPHT(core.DefaultGPHTConfig()), obs, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGPHT learning curve (accuracy per 100-interval window):")
+	for i, a := range series {
+		if i >= 8 {
+			fmt.Printf("  ... steady around %.0f%%\n", series[len(series)-1]*100)
+			break
+		}
+		fmt.Printf("  window %d: %5.1f%%\n", i, a*100)
+	}
+
+	// 5. How many phases does this workload actually have?
+	mems := workload.MemSeries(works)
+	k, err := analysis.SuggestPhaseCount(mems, 8, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nelbow-suggested phase count: %d (Table 1 uses 6 to cover the whole suite)\n", k)
+}

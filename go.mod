@@ -1,0 +1,3 @@
+module phasemon
+
+go 1.22

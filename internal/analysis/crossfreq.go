@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The paper (Section 4) notes that predicting performance *across*
+// power-management settings — in the style of Kotla et al. — could be
+// integrated with its phase framework for richer phase definitions.
+// This file implements that estimator for the platform's timing law:
+// per-uop cycle cost is affine in frequency,
+//
+//	cycles/uop(f) = a + b·f
+//
+// where a is the compute component (1/coreUPC, frequency-invariant in
+// cycles) and b is the memory component (stall seconds per uop, which
+// converts to cycles proportionally to f). Observing UPC at two or
+// more operating points identifies both, after which UPC and slowdown
+// at any other frequency follow.
+
+// FreqSample is one (frequency, observed UPC) measurement.
+type FreqSample struct {
+	FrequencyHz float64
+	UPC         float64
+}
+
+// CrossFrequency is a fitted cross-frequency performance model.
+type CrossFrequency struct {
+	a float64 // compute cycles per uop
+	b float64 // memory seconds per uop
+}
+
+// ErrInsufficientSamples reports a fit attempted with fewer than two
+// distinct frequencies.
+var ErrInsufficientSamples = errors.New("analysis: cross-frequency fit needs samples at >= 2 distinct frequencies")
+
+// FitCrossFrequency least-squares-fits cycles/uop = a + b·f over the
+// samples.
+func FitCrossFrequency(samples []FreqSample) (*CrossFrequency, error) {
+	var n float64
+	var sumF, sumY, sumFF, sumFY float64
+	distinct := map[float64]bool{}
+	for _, s := range samples {
+		if !(s.FrequencyHz > 0) || !(s.UPC > 0) || math.IsInf(s.FrequencyHz, 0) || math.IsInf(s.UPC, 0) {
+			return nil, fmt.Errorf("analysis: invalid sample (f=%v, upc=%v)", s.FrequencyHz, s.UPC)
+		}
+		y := 1 / s.UPC // cycles per uop
+		n++
+		sumF += s.FrequencyHz
+		sumY += y
+		sumFF += s.FrequencyHz * s.FrequencyHz
+		sumFY += s.FrequencyHz * y
+		distinct[s.FrequencyHz] = true
+	}
+	if len(distinct) < 2 {
+		return nil, ErrInsufficientSamples
+	}
+	den := n*sumFF - sumF*sumF
+	if den == 0 {
+		return nil, ErrInsufficientSamples
+	}
+	b := (n*sumFY - sumF*sumY) / den
+	a := (sumY - b*sumF) / n
+	if a <= 0 {
+		return nil, fmt.Errorf("analysis: fit yields non-physical compute cost %v cycles/uop", a)
+	}
+	if b < 0 {
+		// Measurement noise on a CPU-bound stream can fit slightly
+		// negative; clamp to the physical floor.
+		b = 0
+	}
+	return &CrossFrequency{a: a, b: b}, nil
+}
+
+// ComputeCyclesPerUop returns the frequency-invariant compute cost.
+func (c *CrossFrequency) ComputeCyclesPerUop() float64 { return c.a }
+
+// MemSecondsPerUop returns the wall-clock memory cost per uop.
+func (c *CrossFrequency) MemSecondsPerUop() float64 { return c.b }
+
+// UPCAt predicts the observed UPC at a frequency.
+func (c *CrossFrequency) UPCAt(freqHz float64) (float64, error) {
+	if !(freqHz > 0) {
+		return 0, fmt.Errorf("analysis: invalid frequency %v", freqHz)
+	}
+	return 1 / (c.a + c.b*freqHz), nil
+}
+
+// SlowdownTo predicts T(to)/T(from): the execution-time dilation of
+// moving the code from one frequency to another.
+func (c *CrossFrequency) SlowdownTo(fromHz, toHz float64) (float64, error) {
+	if !(fromHz > 0) || !(toHz > 0) {
+		return 0, fmt.Errorf("analysis: invalid frequencies (%v, %v)", fromHz, toHz)
+	}
+	tFrom := c.a/fromHz + c.b
+	tTo := c.a/toHz + c.b
+	return tTo / tFrom, nil
+}
+
+// MemBoundedness returns the fraction of execution time spent on the
+// memory component at a frequency — the "CPU slack" measure behind the
+// paper's DVFS setting assignments.
+func (c *CrossFrequency) MemBoundedness(freqHz float64) (float64, error) {
+	if !(freqHz > 0) {
+		return 0, fmt.Errorf("analysis: invalid frequency %v", freqHz)
+	}
+	total := c.a/freqHz + c.b
+	if total == 0 {
+		return 0, nil
+	}
+	return c.b / total, nil
+}

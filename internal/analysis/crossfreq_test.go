@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"phasemon/internal/cpusim"
+)
+
+// sampleAt runs one work item at several frequencies and returns the
+// observed (f, UPC) pairs.
+func sampleAt(t *testing.T, w cpusim.Work, freqs []float64) []FreqSample {
+	t.Helper()
+	m := cpusim.New(cpusim.DefaultConfig())
+	out := make([]FreqSample, len(freqs))
+	for i, f := range freqs {
+		r, err := m.Execute(w, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = FreqSample{FrequencyHz: f, UPC: r.UPC}
+	}
+	return out
+}
+
+func TestFitRecoversModelParameters(t *testing.T) {
+	// Two observations fully identify the affine law; the fitted
+	// components must match the ground-truth work.
+	w := cpusim.Work{Uops: 100e6, MemPerUop: 0.02, CoreUPC: 0.9, MLP: 1.25}
+	samples := sampleAt(t, w, []float64{1500e6, 600e6})
+	c, err := FitCrossFrequency(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := 1 / 0.9
+	wantB := 0.02 * 100e-9 / 1.25
+	if math.Abs(c.ComputeCyclesPerUop()-wantA)/wantA > 1e-9 {
+		t.Errorf("compute cycles/uop %v, want %v", c.ComputeCyclesPerUop(), wantA)
+	}
+	if math.Abs(c.MemSecondsPerUop()-wantB)/wantB > 1e-9 {
+		t.Errorf("mem seconds/uop %v, want %v", c.MemSecondsPerUop(), wantB)
+	}
+}
+
+func TestPredictionsAtUnseenFrequencies(t *testing.T) {
+	// Fit at the extremes, predict the four intermediate Pentium-M
+	// points; both UPC and slowdown must match the timing model.
+	m := cpusim.New(cpusim.DefaultConfig())
+	w := cpusim.Work{Uops: 100e6, MemPerUop: 0.025, CoreUPC: 1.0, MLP: 0.8}
+	c, err := FitCrossFrequency(sampleAt(t, w, []float64{1500e6, 600e6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.Execute(w, 1500e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{1400e6, 1200e6, 1000e6, 800e6} {
+		r, err := m.Execute(w, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotUPC, err := c.UPCAt(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotUPC-r.UPC)/r.UPC > 1e-9 {
+			t.Errorf("UPCAt(%v) = %v, model says %v", f, gotUPC, r.UPC)
+		}
+		gotSlow, err := c.SlowdownTo(1500e6, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := r.Time / ref.Time; math.Abs(gotSlow-want)/want > 1e-9 {
+			t.Errorf("SlowdownTo(%v) = %v, model says %v", f, gotSlow, want)
+		}
+	}
+}
+
+func TestMemBoundedness(t *testing.T) {
+	// A CPU-bound stream has zero memory share; a memory-dominated one
+	// approaches 1 and grows as frequency rises.
+	cpuBound, err := FitCrossFrequency(sampleAt(t,
+		cpusim.Work{Uops: 1e6, MemPerUop: 0, CoreUPC: 1.5}, []float64{1500e6, 600e6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := cpuBound.MemBoundedness(1500e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb > 1e-9 {
+		t.Errorf("CPU-bound mem share %v, want 0", mb)
+	}
+	memBound, err := FitCrossFrequency(sampleAt(t,
+		cpusim.Work{Uops: 1e6, MemPerUop: 0.1, CoreUPC: 0.6, MLP: 0.5}, []float64{1500e6, 600e6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := memBound.MemBoundedness(1500e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := memBound.MemBoundedness(600e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi < 0.85 {
+		t.Errorf("memory-bound share at 1.5GHz = %v, want > 0.85", hi)
+	}
+	if !(hi > lo) {
+		t.Errorf("memory share should grow with frequency: %v vs %v", hi, lo)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	good := FreqSample{FrequencyHz: 1e9, UPC: 0.5}
+	cases := [][]FreqSample{
+		nil,
+		{good},                              // one sample
+		{good, good},                        // one distinct frequency
+		{good, {FrequencyHz: -1, UPC: 0.5}}, // bad frequency
+		{good, {FrequencyHz: 2e9, UPC: 0}},  // bad UPC
+	}
+	for i, samples := range cases {
+		if _, err := FitCrossFrequency(samples); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	c, err := FitCrossFrequency([]FreqSample{good, {FrequencyHz: 2e9, UPC: 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.UPCAt(0); err == nil {
+		t.Error("UPCAt(0) accepted")
+	}
+	if _, err := c.SlowdownTo(0, 1e9); err == nil {
+		t.Error("SlowdownTo(0, f) accepted")
+	}
+	if _, err := c.MemBoundedness(-1); err == nil {
+		t.Error("MemBoundedness(-1) accepted")
+	}
+}
+
+func TestFitClampsNoiseNegativeSlope(t *testing.T) {
+	// Noisy CPU-bound observations can fit a slightly negative memory
+	// component; the model clamps it to the physical floor.
+	samples := []FreqSample{
+		{FrequencyHz: 600e6, UPC: 1.4999},
+		{FrequencyHz: 1500e6, UPC: 1.5001}, // looks like UPC *rose* with f
+	}
+	c, err := FitCrossFrequency(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MemSecondsPerUop() != 0 {
+		t.Errorf("mem component %v, want clamped 0", c.MemSecondsPerUop())
+	}
+}

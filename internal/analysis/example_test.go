@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"phasemon/internal/analysis"
+	"phasemon/internal/phase"
+)
+
+// The predictability ceiling: the best any depth-1 predictor could do
+// on a stream, measured from the stream itself.
+func ExamplePredictabilityBound() {
+	// A strict alternation: hopeless for order 0, trivial for order 1.
+	var stream []phase.ID
+	for i := 0; i < 100; i++ {
+		stream = append(stream, phase.ID(1+i%2*4))
+	}
+	b0, _ := analysis.PredictabilityBound(stream, 6, 0)
+	b1, _ := analysis.PredictabilityBound(stream, 6, 1)
+	fmt.Printf("order-0 ceiling: %.0f%%\n", b0*100)
+	fmt.Printf("order-1 ceiling: %.0f%%\n", b1*100)
+	// Output:
+	// order-0 ceiling: 50%
+	// order-1 ceiling: 100%
+}
+
+// Cross-frequency performance prediction from two operating points.
+func ExampleFitCrossFrequency() {
+	// UPC observed at the Pentium-M extremes for a memory-bound loop.
+	c, err := analysis.FitCrossFrequency([]analysis.FreqSample{
+		{FrequencyHz: 1500e6, UPC: 0.25},
+		{FrequencyHz: 600e6, UPC: 0.40},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	slow, _ := c.SlowdownTo(1500e6, 600e6)
+	mb, _ := c.MemBoundedness(1500e6)
+	fmt.Printf("predicted slowdown at 600 MHz: %.2fx\n", slow)
+	fmt.Printf("memory-bound fraction at 1.5 GHz: %.0f%%\n", mb*100)
+	// Output:
+	// predicted slowdown at 600 MHz: 1.56x
+	// memory-bound fraction at 1.5 GHz: 62%
+}

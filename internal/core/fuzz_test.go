@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"phasemon/internal/phase"
+)
+
+func FuzzGPHTNeverProducesInvalidState(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{255, 7, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := MustNewGPHT(GPHTConfig{GPHRDepth: 4, PHTEntries: 8, NumPhases: 6})
+		for _, b := range data {
+			// Deliberately include invalid IDs.
+			id := phase.ID(int(b) - 3)
+			got := g.Observe(Observation{Phase: id})
+			if !got.Valid(6) {
+				t.Fatalf("Observe(%v) predicted invalid %v", id, got)
+			}
+			if u := g.Utilization(); u < 0 || u > 1 {
+				t.Fatalf("utilization %v out of range", u)
+			}
+		}
+		if g.Hits()+g.Misses() != uint64(len(data)) {
+			t.Fatalf("hit/miss accounting lost samples")
+		}
+	})
+}
+
+func FuzzPredictorsAgreeOnValidity(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 2, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		tab := phase.Default()
+		preds, err := PaperPredictors(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dur, err := NewDurationPredictor(6, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds = append(preds, dur)
+		for _, p := range preds {
+			p.Reset()
+			for _, b := range data {
+				id := phase.ID(1 + int(b)%6)
+				o := Observation{
+					Sample: phase.Sample{MemPerUop: tab.Midpoint(id)},
+					Phase:  id,
+				}
+				if got := p.Observe(o); !got.Valid(6) {
+					t.Fatalf("%s predicted invalid %v", p.Name(), got)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"phasemon/internal/phase"
+)
+
+// GPHTConfig parameterizes the Global Phase History Table predictor.
+type GPHTConfig struct {
+	// GPHRDepth is the length of the Global Phase History Register —
+	// how many recent phases form the lookup pattern. The paper uses 8.
+	GPHRDepth int
+	// PHTEntries is the capacity of the Pattern History Table. The
+	// paper evaluates 1024 down to 1 and deploys 128.
+	PHTEntries int
+	// NumPhases bounds the phase IDs the predictor will observe.
+	NumPhases int
+	// Hysteresis, when true, requires two consecutive disagreeing
+	// outcomes before a stored prediction is replaced (a 2-bit-counter
+	// style update, an extension beyond the paper's direct update).
+	Hysteresis bool
+}
+
+// Validate checks the configuration. Tags are packed 4 bits per phase
+// into a uint64, which bounds depth and phase count.
+func (c GPHTConfig) Validate() error {
+	switch {
+	case c.GPHRDepth < 1 || c.GPHRDepth > 16:
+		return fmt.Errorf("core: GPHR depth %d outside [1,16]", c.GPHRDepth)
+	case c.PHTEntries < 1:
+		return fmt.Errorf("core: PHT entries %d must be at least 1", c.PHTEntries)
+	case c.NumPhases < 1 || c.NumPhases > 15:
+		return fmt.Errorf("core: phase count %d outside [1,15]", c.NumPhases)
+	}
+	return nil
+}
+
+// DefaultGPHTConfig returns the deployed configuration of the paper's
+// real-system implementation: depth 8, 128 PHT entries, 6 phases.
+func DefaultGPHTConfig() GPHTConfig {
+	return GPHTConfig{GPHRDepth: 8, PHTEntries: 128, NumPhases: 6}
+}
+
+// phtEntry is one Pattern History Table row: an observed phase
+// pattern (tag), its next-phase prediction, and the age bookkeeping
+// used for LRU replacement (the paper's "Age / Invalid" column; -1
+// there corresponds to valid=false here).
+type phtEntry struct {
+	tag   uint64
+	pred  phase.ID
+	age   uint64
+	valid bool
+	// conf is the hysteresis bit: a stored prediction with conf=true
+	// survives one disagreeing outcome before being replaced. Unused
+	// (always overwritten) in direct-update mode.
+	conf bool
+}
+
+// GPHT is the Global Phase History Table predictor (the paper's
+// Figure 1): a global shift register of recent phases (GPHR) indexes
+// an associatively-searched pattern table (PHT) whose entries hold the
+// phase that followed each pattern last time. On a PHT miss the GPHR's
+// newest phase is predicted — a built-in last-value fallback that
+// guarantees the GPHT never does worse than the reactive baseline on
+// pattern-free workloads — and the new pattern is installed, evicting
+// the least recently used entry when the table is full.
+//
+// Unlike its branch-predictor ancestor this is a software structure
+// living in the OS: capacity is a handler-latency concern, not an SRAM
+// budget.
+type GPHT struct {
+	cfg  GPHTConfig
+	name string
+
+	gphr []phase.ID // gphr[0] is the most recent phase
+	seen int        // observations so far (for warm-up accounting)
+
+	pht   []phtEntry
+	index map[uint64]int // tag -> slot, mirrors associative search
+	clock uint64         // LRU age source
+
+	// lastSlot is the PHT slot consulted (or installed) by the most
+	// recent prediction; its stored prediction is trained by the next
+	// observation. -1 when no slot is pending.
+	lastSlot int
+
+	hits, misses uint64
+}
+
+var _ Predictor = (*GPHT)(nil)
+
+// NewGPHT builds the predictor.
+func NewGPHT(cfg GPHTConfig) (*GPHT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPHT{
+		cfg:      cfg,
+		name:     fmt.Sprintf("GPHT_%d_%d", cfg.GPHRDepth, cfg.PHTEntries),
+		gphr:     make([]phase.ID, cfg.GPHRDepth),
+		pht:      make([]phtEntry, cfg.PHTEntries),
+		index:    make(map[uint64]int, cfg.PHTEntries),
+		lastSlot: -1,
+	}
+	return g, nil
+}
+
+// MustNewGPHT is NewGPHT that panics on config errors; for defaults
+// and tests.
+func MustNewGPHT(cfg GPHTConfig) *GPHT {
+	g, err := NewGPHT(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name implements Predictor.
+func (g *GPHT) Name() string { return g.name }
+
+// Config returns the predictor's configuration.
+func (g *GPHT) Config() GPHTConfig { return g.cfg }
+
+// TableEntries reports the PHT capacity; the kernel module uses it to
+// model the handler's associative-search cost.
+func (g *GPHT) TableEntries() int { return g.cfg.PHTEntries }
+
+// Hits and Misses report PHT lookup outcomes since the last Reset.
+func (g *GPHT) Hits() uint64 { return g.hits }
+
+// Misses reports PHT lookup misses since the last Reset.
+func (g *GPHT) Misses() uint64 { return g.misses }
+
+// Observe implements Predictor: it trains the previously consulted PHT
+// entry with the observed outcome, shifts the GPHR, and looks up the
+// new pattern.
+func (g *GPHT) Observe(o Observation) phase.ID {
+	actual := o.Phase
+	if !actual.Valid(g.cfg.NumPhases) {
+		// Clamp garbage to the nearest valid phase so the table never
+		// holds unrepresentable IDs.
+		if actual < 1 {
+			actual = 1
+		} else {
+			actual = phase.ID(g.cfg.NumPhases)
+		}
+	}
+
+	// Train the entry consulted by the previous prediction with what
+	// actually happened: direct replacement in the paper's design, or
+	// a one-miss-tolerant update when hysteresis is enabled.
+	if g.lastSlot >= 0 {
+		e := &g.pht[g.lastSlot]
+		if e.valid {
+			switch {
+			case e.pred == phase.None || !g.cfg.Hysteresis:
+				e.pred = actual
+				e.conf = false
+			case e.pred == actual:
+				e.conf = true
+			case e.conf:
+				e.conf = false // tolerate the first disagreement
+			default:
+				e.pred = actual
+			}
+		}
+		g.lastSlot = -1
+	}
+
+	// Shift the GPHR: newest phase enters at index 0.
+	copy(g.gphr[1:], g.gphr)
+	g.gphr[0] = actual
+	g.seen++
+
+	tag := g.packTag()
+	if slot, ok := g.index[tag]; ok {
+		g.hits++
+		g.clock++
+		g.pht[slot].age = g.clock
+		g.lastSlot = slot
+		pred := g.pht[slot].pred
+		if pred == phase.None {
+			pred = actual // untrained entry: last-value fallback
+		}
+		return pred
+	}
+
+	// Miss: install the pattern (LRU victim) and fall back to
+	// last-value prediction.
+	g.misses++
+	slot := g.victim()
+	old := &g.pht[slot]
+	if old.valid {
+		delete(g.index, old.tag)
+	}
+	g.clock++
+	*old = phtEntry{tag: tag, pred: phase.None, age: g.clock, valid: true}
+	g.index[tag] = slot
+	g.lastSlot = slot
+	return actual
+}
+
+// packTag encodes the GPHR contents 4 bits per phase, oldest in the
+// high bits. Unfilled (warm-up) positions encode as 0, which cannot
+// collide with a valid phase.
+func (g *GPHT) packTag() uint64 {
+	var t uint64
+	for _, p := range g.gphr {
+		t = t<<4 | uint64(p)&0xF
+	}
+	return t
+}
+
+// victim picks an invalid slot if one exists, otherwise the least
+// recently used entry.
+func (g *GPHT) victim() int {
+	best := 0
+	bestAge := ^uint64(0)
+	for i := range g.pht {
+		if !g.pht[i].valid {
+			return i
+		}
+		if g.pht[i].age < bestAge {
+			bestAge = g.pht[i].age
+			best = i
+		}
+	}
+	return best
+}
+
+// Utilization returns the fraction of PHT entries currently valid.
+func (g *GPHT) Utilization() float64 {
+	n := 0
+	for i := range g.pht {
+		if g.pht[i].valid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(g.pht))
+}
+
+// Reset implements Predictor.
+func (g *GPHT) Reset() {
+	for i := range g.gphr {
+		g.gphr[i] = phase.None
+	}
+	for i := range g.pht {
+		g.pht[i] = phtEntry{}
+	}
+	g.index = make(map[uint64]int, g.cfg.PHTEntries)
+	g.clock = 0
+	g.seen = 0
+	g.lastSlot = -1
+	g.hits = 0
+	g.misses = 0
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/gob"
+	"fmt"
+
+	"phasemon/internal/phase"
+)
+
+// The paper's LKM can be loaded and unloaded during system operation;
+// a predictor that persists its learned state across reloads resumes
+// at full accuracy instead of re-warming. This file implements binary
+// snapshots of the GPHT for that purpose.
+
+// gphtSnapshot is the wire form of the predictor state.
+type gphtSnapshot struct {
+	Version int
+	Config  GPHTConfig
+	GPHR    []phase.ID
+	Seen    int
+	Entries []gphtEntrySnapshot
+	Clock   uint64
+	Last    int
+	Hits    uint64
+	Misses  uint64
+}
+
+type gphtEntrySnapshot struct {
+	Tag   uint64
+	Pred  phase.ID
+	Age   uint64
+	Valid bool
+	Conf  bool
+}
+
+const gphtSnapshotVersion = 1
+
+var (
+	_ encoding.BinaryMarshaler   = (*GPHT)(nil)
+	_ encoding.BinaryUnmarshaler = (*GPHT)(nil)
+)
+
+// MarshalBinary snapshots the predictor's full learned state.
+func (g *GPHT) MarshalBinary() ([]byte, error) {
+	snap := gphtSnapshot{
+		Version: gphtSnapshotVersion,
+		Config:  g.cfg,
+		GPHR:    append([]phase.ID(nil), g.gphr...),
+		Seen:    g.seen,
+		Clock:   g.clock,
+		Last:    g.lastSlot,
+		Hits:    g.hits,
+		Misses:  g.misses,
+	}
+	snap.Entries = make([]gphtEntrySnapshot, len(g.pht))
+	for i, e := range g.pht {
+		snap.Entries[i] = gphtEntrySnapshot{Tag: e.tag, Pred: e.pred, Age: e.age, Valid: e.valid, Conf: e.conf}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("core: encoding GPHT snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a snapshot. The receiver's configuration is
+// replaced by the snapshot's (which is validated), so a zero-value or
+// differently-sized GPHT can be restored into.
+func (g *GPHT) UnmarshalBinary(data []byte) error {
+	var snap gphtSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("core: decoding GPHT snapshot: %w", err)
+	}
+	if snap.Version != gphtSnapshotVersion {
+		return fmt.Errorf("core: GPHT snapshot version %d unsupported (want %d)", snap.Version, gphtSnapshotVersion)
+	}
+	if err := snap.Config.Validate(); err != nil {
+		return fmt.Errorf("core: snapshot config: %w", err)
+	}
+	if len(snap.GPHR) != snap.Config.GPHRDepth {
+		return fmt.Errorf("core: snapshot GPHR length %d != depth %d", len(snap.GPHR), snap.Config.GPHRDepth)
+	}
+	if len(snap.Entries) != snap.Config.PHTEntries {
+		return fmt.Errorf("core: snapshot has %d entries, config says %d", len(snap.Entries), snap.Config.PHTEntries)
+	}
+	if snap.Last < -1 || snap.Last >= len(snap.Entries) {
+		return fmt.Errorf("core: snapshot last slot %d out of range", snap.Last)
+	}
+
+	g.cfg = snap.Config
+	g.name = fmt.Sprintf("GPHT_%d_%d", snap.Config.GPHRDepth, snap.Config.PHTEntries)
+	g.gphr = append([]phase.ID(nil), snap.GPHR...)
+	g.seen = snap.Seen
+	g.clock = snap.Clock
+	g.lastSlot = snap.Last
+	g.hits = snap.Hits
+	g.misses = snap.Misses
+	g.pht = make([]phtEntry, len(snap.Entries))
+	g.index = make(map[uint64]int, len(snap.Entries))
+	for i, e := range snap.Entries {
+		g.pht[i] = phtEntry{tag: e.Tag, pred: e.Pred, age: e.Age, valid: e.Valid, conf: e.Conf}
+		if e.Valid {
+			if other, dup := g.index[e.Tag]; dup {
+				return fmt.Errorf("core: snapshot has duplicate tag %#x in slots %d and %d", e.Tag, other, i)
+			}
+			g.index[e.Tag] = i
+		}
+	}
+	return nil
+}

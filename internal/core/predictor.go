@@ -1,0 +1,288 @@
+// Package core implements the paper's primary contribution: live,
+// runtime phase prediction. It provides the Predictor interface, the
+// Global Phase History Table (GPHT) predictor leveraged from two-level
+// branch prediction, the statistical baseline predictors the paper
+// compares against (last value, fixed window, variable window), and
+// the Monitor that binds classification and prediction into the
+// sampling loop executed by the PMI handler.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"phasemon/internal/phase"
+)
+
+// Observation is the measured behavior of one completed sampling
+// interval: the raw counter-derived sample and its classified phase.
+type Observation struct {
+	Sample phase.Sample
+	Phase  phase.ID
+}
+
+// Predictor forecasts the next interval's phase from the history of
+// completed intervals.
+//
+// The protocol matches the PMI handler's loop: at each sampling
+// boundary the handler calls Observe with the interval that just
+// finished, and the return value is the prediction for the interval
+// about to run.
+type Predictor interface {
+	// Name identifies the predictor using the paper's labels
+	// (e.g. "GPHT_8_1024", "LastValue").
+	Name() string
+	// Observe records a completed interval and returns the predicted
+	// phase of the next interval.
+	Observe(o Observation) phase.ID
+	// Reset clears all history.
+	Reset()
+}
+
+// lastValue predicts Phase[t+1] = Phase[t]: the simplest statistical
+// predictor and the reactive-management baseline of Section 6.2.
+type lastValue struct {
+	last phase.ID
+}
+
+// NewLastValue returns the last-value predictor.
+func NewLastValue() Predictor { return &lastValue{} }
+
+func (p *lastValue) Name() string { return "LastValue" }
+
+func (p *lastValue) Observe(o Observation) phase.ID {
+	p.last = o.Phase
+	return p.last
+}
+
+func (p *lastValue) Reset() { p.last = phase.None }
+
+// WindowMode selects how a fixed-window predictor combines its
+// history, mirroring the paper's "averaging function, exponential
+// moving average, or selector based on population counts".
+type WindowMode int
+
+// Fixed-window combination modes.
+const (
+	// ModeMajority predicts the most frequent phase in the window,
+	// breaking ties toward the most recently observed contender.
+	ModeMajority WindowMode = iota
+	// ModeMean averages the window's Mem/Uop values and classifies
+	// the mean.
+	ModeMean
+	// ModeEMA keeps an exponential moving average of Mem/Uop with
+	// smoothing 2/(winsize+1) and classifies it.
+	ModeEMA
+)
+
+// String names the mode.
+func (m WindowMode) String() string {
+	switch m {
+	case ModeMajority:
+		return "majority"
+	case ModeMean:
+		return "mean"
+	case ModeEMA:
+		return "ema"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// fixedWindow predicts from the last winsize observations.
+type fixedWindow struct {
+	name    string
+	size    int
+	mode    WindowMode
+	cls     phase.Classifier
+	phases  []phase.ID
+	mems    []float64
+	ema     float64
+	emaInit bool
+	last    phase.ID
+}
+
+// NewFixedWindow builds a fixed-history-window predictor. The
+// classifier is required for ModeMean and ModeEMA (which re-classify a
+// smoothed Mem/Uop) and ignored for ModeMajority.
+func NewFixedWindow(size int, mode WindowMode, cls phase.Classifier) (Predictor, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("core: window size %d must be at least 1", size)
+	}
+	if (mode == ModeMean || mode == ModeEMA) && cls == nil {
+		return nil, fmt.Errorf("core: window mode %v requires a classifier", mode)
+	}
+	if mode < ModeMajority || mode > ModeEMA {
+		return nil, fmt.Errorf("core: unknown window mode %d", int(mode))
+	}
+	return &fixedWindow{
+		name: fmt.Sprintf("FixWindow_%d", size),
+		size: size,
+		mode: mode,
+		cls:  cls,
+	}, nil
+}
+
+func (p *fixedWindow) Name() string { return p.name }
+
+func (p *fixedWindow) Observe(o Observation) phase.ID {
+	p.last = o.Phase
+	switch p.mode {
+	case ModeEMA:
+		alpha := 2 / (float64(p.size) + 1)
+		if !p.emaInit {
+			p.ema = o.Sample.MemPerUop
+			p.emaInit = true
+		} else {
+			p.ema = alpha*o.Sample.MemPerUop + (1-alpha)*p.ema
+		}
+		return p.cls.Classify(phase.Sample{MemPerUop: p.ema})
+	case ModeMean:
+		p.mems = appendWindow(p.mems, o.Sample.MemPerUop, p.size)
+		var sum float64
+		for _, m := range p.mems {
+			sum += m
+		}
+		return p.cls.Classify(phase.Sample{MemPerUop: sum / float64(len(p.mems))})
+	default: // ModeMajority
+		p.phases = appendWindowID(p.phases, o.Phase, p.size)
+		return majority(p.phases, p.last)
+	}
+}
+
+func (p *fixedWindow) Reset() {
+	p.phases = p.phases[:0]
+	p.mems = p.mems[:0]
+	p.ema = 0
+	p.emaInit = false
+	p.last = phase.None
+}
+
+// variableWindow is the paper's variable-history predictor: a majority
+// window that is flushed whenever a phase transition (a Mem/Uop jump
+// beyond the threshold) makes older history obsolete.
+type variableWindow struct {
+	name      string
+	size      int
+	threshold float64
+	phases    []phase.ID
+	lastMem   float64
+	havePrev  bool
+	last      phase.ID
+}
+
+// NewVariableWindow builds a variable-history-window predictor with
+// the given maximum window size and transition threshold (the paper
+// evaluates 128-entry windows with thresholds 0.005 and 0.030).
+func NewVariableWindow(size int, threshold float64) (Predictor, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("core: window size %d must be at least 1", size)
+	}
+	if threshold < 0 || math.IsNaN(threshold) {
+		return nil, fmt.Errorf("core: threshold %v must be non-negative", threshold)
+	}
+	return &variableWindow{
+		name:      fmt.Sprintf("VarWindow_%d_%.3f", size, threshold),
+		size:      size,
+		threshold: threshold,
+	}, nil
+}
+
+func (p *variableWindow) Name() string { return p.name }
+
+func (p *variableWindow) Observe(o Observation) phase.ID {
+	if p.havePrev && math.Abs(o.Sample.MemPerUop-p.lastMem) > p.threshold {
+		// Phase transition: previous history is obsolete.
+		p.phases = p.phases[:0]
+	}
+	p.lastMem = o.Sample.MemPerUop
+	p.havePrev = true
+	p.last = o.Phase
+	p.phases = appendWindowID(p.phases, o.Phase, p.size)
+	return majority(p.phases, p.last)
+}
+
+func (p *variableWindow) Reset() {
+	p.phases = p.phases[:0]
+	p.lastMem = 0
+	p.havePrev = false
+	p.last = phase.None
+}
+
+// appendWindow appends keeping at most size elements (dropping the
+// oldest).
+func appendWindow(w []float64, v float64, size int) []float64 {
+	w = append(w, v)
+	if len(w) > size {
+		copy(w, w[1:])
+		w = w[:size]
+	}
+	return w
+}
+
+func appendWindowID(w []phase.ID, v phase.ID, size int) []phase.ID {
+	w = append(w, v)
+	if len(w) > size {
+		copy(w, w[1:])
+		w = w[:size]
+	}
+	return w
+}
+
+// majority returns the most frequent phase in w, breaking ties toward
+// the phase whose latest occurrence is most recent; fallback is
+// returned for an empty window.
+func majority(w []phase.ID, fallback phase.ID) phase.ID {
+	if len(w) == 0 {
+		return fallback
+	}
+	counts := map[phase.ID]int{}
+	lastSeen := map[phase.ID]int{}
+	for i, p := range w {
+		counts[p]++
+		lastSeen[p] = i
+	}
+	best := w[len(w)-1]
+	for p, c := range counts {
+		switch {
+		case c > counts[best]:
+			best = p
+		case c == counts[best] && lastSeen[p] > lastSeen[best]:
+			best = p
+		}
+	}
+	return best
+}
+
+// ErrNoObservations reports an evaluation over an empty trace.
+var ErrNoObservations = errors.New("core: no observations")
+
+// oracle replays a known future — the upper bound used in ablations.
+// It is not implementable on a live system; it exists to quantify how
+// much headroom remains above a predictor.
+type oracle struct {
+	future []phase.ID
+	i      int
+}
+
+// NewOracle returns a predictor that, at step t, "predicts" the
+// recorded future phase t+1. After the recorded future is exhausted it
+// degrades to last-value.
+func NewOracle(future []phase.ID) Predictor {
+	cp := make([]phase.ID, len(future))
+	copy(cp, future)
+	return &oracle{future: cp}
+}
+
+func (p *oracle) Name() string { return "Oracle" }
+
+func (p *oracle) Observe(o Observation) phase.ID {
+	p.i++
+	if p.i < len(p.future) {
+		return p.future[p.i]
+	}
+	return o.Phase
+}
+
+func (p *oracle) Reset() { p.i = 0 }

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"phasemon/internal/phase"
+)
+
+// obsFromPhases builds an observation stream where each phase's sample
+// sits at the classifier's midpoint for that phase.
+func obsFromPhases(tab *phase.Table, ids []phase.ID) []Observation {
+	out := make([]Observation, len(ids))
+	for i, id := range ids {
+		out[i] = Observation{
+			Sample: phase.Sample{MemPerUop: tab.Midpoint(id)},
+			Phase:  id,
+		}
+	}
+	return out
+}
+
+func accuracy(t *testing.T, p Predictor, obs []Observation) float64 {
+	t.Helper()
+	tally, err := Evaluate(p, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tally.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func repeatPattern(pattern []phase.ID, n int) []phase.ID {
+	out := make([]phase.ID, 0, n)
+	for len(out) < n {
+		out = append(out, pattern...)
+	}
+	return out[:n]
+}
+
+func TestLastValue(t *testing.T) {
+	p := NewLastValue()
+	if p.Name() != "LastValue" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if got := p.Observe(Observation{Phase: 3}); got != 3 {
+		t.Errorf("prediction = %v, want 3", got)
+	}
+	if got := p.Observe(Observation{Phase: 5}); got != 5 {
+		t.Errorf("prediction = %v, want 5", got)
+	}
+	p.Reset()
+	if got := p.Observe(Observation{Phase: 1}); got != 1 {
+		t.Errorf("after reset: %v", got)
+	}
+}
+
+func TestLastValueAccuracyEqualsAdjacentEquality(t *testing.T) {
+	tab := phase.Default()
+	seq := []phase.ID{1, 1, 2, 2, 2, 1, 3, 3}
+	// Adjacent-equal pairs: (1,1),(2,2),(2,2),(3,3) = 4 of 7.
+	got := accuracy(t, NewLastValue(), obsFromPhases(tab, seq))
+	if math.Abs(got-4.0/7) > 1e-12 {
+		t.Errorf("accuracy = %v, want 4/7", got)
+	}
+}
+
+func TestFixedWindowValidation(t *testing.T) {
+	tab := phase.Default()
+	if _, err := NewFixedWindow(0, ModeMajority, tab); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewFixedWindow(8, ModeMean, nil); err == nil {
+		t.Error("mean mode without classifier accepted")
+	}
+	if _, err := NewFixedWindow(8, ModeEMA, nil); err == nil {
+		t.Error("ema mode without classifier accepted")
+	}
+	if _, err := NewFixedWindow(8, WindowMode(99), tab); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	p, err := NewFixedWindow(8, ModeMajority, nil)
+	if err != nil {
+		t.Fatalf("majority without classifier: %v", err)
+	}
+	if p.Name() != "FixWindow_8" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestFixedWindowMajority(t *testing.T) {
+	p, err := NewFixedWindow(4, ModeMajority, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := []phase.ID{2, 2, 2, 5}
+	var got phase.ID
+	for _, id := range feed {
+		got = p.Observe(Observation{Phase: id})
+	}
+	if got != 2 {
+		t.Errorf("majority of [2 2 2 5] = %v, want 2", got)
+	}
+	// Window slides: after four 5s the 2s are gone.
+	for _, id := range []phase.ID{5, 5, 5} {
+		got = p.Observe(Observation{Phase: id})
+	}
+	if got != 5 {
+		t.Errorf("after sliding, majority = %v, want 5", got)
+	}
+}
+
+func TestFixedWindowMajorityTieBreaksRecent(t *testing.T) {
+	p, err := NewFixedWindow(4, ModeMajority, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got phase.ID
+	for _, id := range []phase.ID{2, 2, 5, 5} {
+		got = p.Observe(Observation{Phase: id})
+	}
+	if got != 5 {
+		t.Errorf("tie broke to %v, want the more recent 5", got)
+	}
+}
+
+func TestFixedWindowMean(t *testing.T) {
+	tab := phase.Default()
+	p, err := NewFixedWindow(2, ModeMean, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(Observation{Sample: phase.Sample{MemPerUop: 0.002}, Phase: 1})
+	// Mean of 0.002 and 0.012 is 0.007 -> phase 2.
+	got := p.Observe(Observation{Sample: phase.Sample{MemPerUop: 0.012}, Phase: 3})
+	if got != 2 {
+		t.Errorf("mean-mode prediction = %v, want 2", got)
+	}
+}
+
+func TestFixedWindowEMATracksSlowly(t *testing.T) {
+	tab := phase.Default()
+	p, err := NewFixedWindow(8, ModeEMA, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initialize at a phase-1 level, then a single phase-6 spike: the
+	// EMA must not jump all the way.
+	p.Observe(Observation{Sample: phase.Sample{MemPerUop: 0.002}, Phase: 1})
+	got := p.Observe(Observation{Sample: phase.Sample{MemPerUop: 0.035}, Phase: 6})
+	if got == 6 {
+		t.Error("EMA jumped immediately to the spike phase")
+	}
+	// Sustained phase 6 eventually wins.
+	for i := 0; i < 30; i++ {
+		got = p.Observe(Observation{Sample: phase.Sample{MemPerUop: 0.035}, Phase: 6})
+	}
+	if got != 6 {
+		t.Errorf("EMA never converged: %v", got)
+	}
+}
+
+func TestVariableWindowFlushOnTransition(t *testing.T) {
+	p, err := NewVariableWindow(128, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long phase-1 history...
+	for i := 0; i < 50; i++ {
+		p.Observe(Observation{Sample: phase.Sample{MemPerUop: 0.002}, Phase: 1})
+	}
+	// ...then a jump beyond the threshold: the window is flushed, so
+	// the prediction follows the new phase immediately instead of
+	// being outvoted by stale history.
+	got := p.Observe(Observation{Sample: phase.Sample{MemPerUop: 0.033}, Phase: 6})
+	if got != 6 {
+		t.Errorf("after transition, prediction = %v, want 6", got)
+	}
+	// A fixed window of the same size would still say 1 here.
+	fw, err := NewFixedWindow(128, ModeMajority, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		fw.Observe(Observation{Phase: 1})
+	}
+	if got := fw.Observe(Observation{Phase: 6}); got != 1 {
+		t.Errorf("fixed window sanity: %v, want 1", got)
+	}
+}
+
+func TestVariableWindowSmallChangesKeepHistory(t *testing.T) {
+	p, err := NewVariableWindow(128, 0.030)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p.Observe(Observation{Sample: phase.Sample{MemPerUop: 0.002}, Phase: 1})
+	}
+	// A change below the 0.030 threshold keeps the window, so the old
+	// majority persists.
+	got := p.Observe(Observation{Sample: phase.Sample{MemPerUop: 0.012}, Phase: 3})
+	if got != 1 {
+		t.Errorf("prediction = %v, want stale majority 1", got)
+	}
+}
+
+func TestVariableWindowValidation(t *testing.T) {
+	if _, err := NewVariableWindow(0, 0.005); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewVariableWindow(8, -1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	p, _ := NewVariableWindow(128, 0.005)
+	if p.Name() != "VarWindow_128_0.005" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestOracle(t *testing.T) {
+	tab := phase.Default()
+	seq := []phase.ID{1, 2, 3, 4, 5, 6, 1, 2}
+	p := NewOracle(seq)
+	if got := accuracy(t, p, obsFromPhases(tab, seq)); got != 1 {
+		t.Errorf("oracle accuracy = %v, want 1", got)
+	}
+	// Exhausted oracle degrades to last value rather than panicking.
+	p.Reset()
+	for _, id := range seq {
+		p.Observe(Observation{Phase: id})
+	}
+	if got := p.Observe(Observation{Phase: 4}); got != 4 {
+		t.Errorf("exhausted oracle = %v, want last value 4", got)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	if _, err := Evaluate(NewLastValue(), nil); err == nil {
+		t.Error("expected ErrNoObservations")
+	}
+}
+
+func TestEvaluateAll(t *testing.T) {
+	tab := phase.Default()
+	obs := obsFromPhases(tab, repeatPattern([]phase.ID{1, 2}, 100))
+	preds, err := PaperPredictors(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateAll(preds, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("EvaluateAll returned %d tallies", len(got))
+	}
+	for _, name := range []string{"LastValue", "FixWindow_8", "FixWindow_128", "VarWindow_128_0.005", "VarWindow_128_0.030", "GPHT_8_1024"} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("missing predictor %q", name)
+		}
+	}
+	// A strict 1-2 alternation: last value is always wrong, GPHT
+	// nearly always right.
+	lv, _ := got["LastValue"].Accuracy()
+	g, _ := got["GPHT_8_1024"].Accuracy()
+	if lv > 0.01 {
+		t.Errorf("last value on alternation: %v, want ~0", lv)
+	}
+	if g < 0.9 {
+		t.Errorf("GPHT on alternation: %v, want >0.9", g)
+	}
+}
+
+func TestWindowModeString(t *testing.T) {
+	if ModeMajority.String() != "majority" || ModeMean.String() != "mean" || ModeEMA.String() != "ema" {
+		t.Error("mode names wrong")
+	}
+	if WindowMode(9).String() != "mode(9)" {
+		t.Errorf("unknown mode: %q", WindowMode(9).String())
+	}
+}
+
+func TestPredictorsResetToCleanState(t *testing.T) {
+	tab := phase.Default()
+	preds, err := PaperPredictors(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := obsFromPhases(tab, repeatPattern([]phase.ID{1, 4, 2, 6, 3}, 200))
+	for _, p := range preds {
+		first := accuracy(t, p, obs)
+		second := accuracy(t, p, obs) // Evaluate resets internally
+		if first != second {
+			t.Errorf("%s: accuracy changed across evaluations: %v vs %v", p.Name(), first, second)
+		}
+	}
+}
+
+func TestStatisticalPredictorsOnRandomSequences(t *testing.T) {
+	// On structure-free input no predictor can beat chance by much,
+	// and the GPHT must not do materially worse than last value
+	// (its miss path *is* last value).
+	tab := phase.Default()
+	rng := rand.New(rand.NewSource(99))
+	ids := make([]phase.ID, 3000)
+	for i := range ids {
+		ids[i] = phase.ID(1 + rng.Intn(6))
+	}
+	obs := obsFromPhases(tab, ids)
+	lv := accuracy(t, NewLastValue(), obs)
+	g := accuracy(t, MustNewGPHT(GPHTConfig{GPHRDepth: 8, PHTEntries: 1024, NumPhases: 6}), obs)
+	if math.Abs(lv-1.0/6) > 0.05 {
+		t.Errorf("last value on uniform noise: %v, want ~1/6", lv)
+	}
+	if g < lv-0.05 {
+		t.Errorf("GPHT (%v) materially worse than last value (%v) on noise", g, lv)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+)
+
+// AccuracySeries replays an observation stream through a predictor
+// (after Reset) and returns the prediction accuracy of consecutive
+// windows of the given length — the learning curve that shows how long
+// a predictor takes to warm up on a workload. The trailing partial
+// window is dropped.
+func AccuracySeries(p Predictor, obs []Observation, window int) ([]float64, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("core: window %d must be at least 1", window)
+	}
+	if len(obs) < window+1 {
+		return nil, fmt.Errorf("core: %d observations too few for a %d-interval window", len(obs), window)
+	}
+	p.Reset()
+	pending := p.Observe(obs[0]) // the first interval itself is unscored
+	var out []float64
+	correct, n := 0, 0
+	for _, o := range obs[1:] {
+		if pending == o.Phase {
+			correct++
+		}
+		n++
+		if n == window {
+			out = append(out, float64(correct)/float64(window))
+			correct, n = 0, 0
+		}
+		pending = p.Observe(o)
+	}
+	return out, nil
+}
+
+// WarmupWindows returns how many leading windows of the accuracy
+// series fall below the given fraction of the series' final (last
+// window) accuracy — a predictor-agnostic warm-up measure. A predictor
+// that starts at full accuracy returns 0.
+func WarmupWindows(series []float64, fraction float64) (int, error) {
+	if len(series) == 0 {
+		return 0, fmt.Errorf("core: empty accuracy series")
+	}
+	if fraction <= 0 || fraction > 1 {
+		return 0, fmt.Errorf("core: fraction %v outside (0,1]", fraction)
+	}
+	target := series[len(series)-1] * fraction
+	for i, a := range series {
+		if a >= target {
+			return i, nil
+		}
+	}
+	return len(series), nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"phasemon/internal/phase"
+)
+
+// StepResult is one streamed monitoring outcome: the completed
+// interval's classification and the prediction for the next interval.
+type StepResult struct {
+	// Index is the interval's ordinal within the stream.
+	Index int
+	// Sample echoes the input observation.
+	Sample phase.Sample
+	// Actual is the completed interval's phase.
+	Actual phase.ID
+	// Next is the predicted phase of the upcoming interval.
+	Next phase.ID
+}
+
+// Stream runs a monitor over a live sample feed: it consumes samples
+// from the input channel, steps the monitor for each, and delivers a
+// StepResult per sample on the returned channel. It is the
+// channel-shaped face of the same loop the PMI handler runs — for
+// embedding the predictor in event-driven collectors (a perf-event
+// reader, a telemetry pipeline) rather than the simulated interrupt
+// path.
+//
+// The output channel is unbuffered and closes when the input closes or
+// the context is cancelled. The monitor must not be used concurrently
+// elsewhere while the stream runs; the goroutine is the sole stepper.
+func Stream(ctx context.Context, m *Monitor, samples <-chan phase.Sample) (<-chan StepResult, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: Stream requires a monitor")
+	}
+	if samples == nil {
+		return nil, fmt.Errorf("core: Stream requires a sample channel")
+	}
+	out := make(chan StepResult)
+	go func() {
+		defer close(out)
+		i := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case s, ok := <-samples:
+				if !ok {
+					return
+				}
+				actual, next := m.Step(s)
+				r := StepResult{Index: i, Sample: s, Actual: actual, Next: next}
+				i++
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out, nil
+}

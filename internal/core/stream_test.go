@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"phasemon/internal/phase"
+)
+
+func TestStreamProcessesAllSamples(t *testing.T) {
+	tab := phase.Default()
+	mon, err := NewMonitor(tab, NewLastValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan phase.Sample)
+	out, err := Stream(context.Background(), mon, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer close(in)
+		for i := 0; i < 50; i++ {
+			mem := 0.002
+			if i%2 == 1 {
+				mem = 0.033
+			}
+			in <- phase.Sample{MemPerUop: mem}
+		}
+	}()
+	n := 0
+	for r := range out {
+		if r.Index != n {
+			t.Fatalf("result %d has index %d", n, r.Index)
+		}
+		want := phase.ID(1)
+		if n%2 == 1 {
+			want = 6
+		}
+		if r.Actual != want {
+			t.Fatalf("result %d: actual %v, want %v", n, r.Actual, want)
+		}
+		if !r.Next.Valid(6) {
+			t.Fatalf("result %d: invalid prediction %v", n, r.Next)
+		}
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("received %d results, want 50", n)
+	}
+	if mon.Steps() != 50 {
+		t.Errorf("monitor stepped %d times", mon.Steps())
+	}
+}
+
+func TestStreamMatchesDirectStepping(t *testing.T) {
+	tab := phase.Default()
+	mkMon := func() *Monitor {
+		m, err := NewMonitor(tab, MustNewGPHT(DefaultGPHTConfig()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	samples := make([]phase.Sample, 200)
+	for i := range samples {
+		samples[i] = phase.Sample{MemPerUop: float64(i%7) * 0.006}
+	}
+
+	direct := mkMon()
+	var wantNext []phase.ID
+	for _, s := range samples {
+		_, next := direct.Step(s)
+		wantNext = append(wantNext, next)
+	}
+
+	streamed := mkMon()
+	in := make(chan phase.Sample)
+	out, err := Stream(context.Background(), streamed, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer close(in)
+		for _, s := range samples {
+			in <- s
+		}
+	}()
+	i := 0
+	for r := range out {
+		if r.Next != wantNext[i] {
+			t.Fatalf("sample %d: streamed prediction %v != direct %v", i, r.Next, wantNext[i])
+		}
+		i++
+	}
+	if i != len(samples) {
+		t.Fatalf("streamed %d results", i)
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	tab := phase.Default()
+	mon, err := NewMonitor(tab, NewLastValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan phase.Sample)
+	out, err := Stream(ctx, mon, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed one sample, receive it, then cancel while the producer
+	// blocks: the output channel must close promptly.
+	go func() { in <- phase.Sample{MemPerUop: 0.01} }()
+	select {
+	case <-out:
+	case <-time.After(time.Second):
+		t.Fatal("no result within 1s")
+	}
+	cancel()
+	select {
+	case _, ok := <-out:
+		if ok {
+			// One in-flight result may still be delivered; the next
+			// receive must observe closure.
+			if _, ok := <-out; ok {
+				t.Fatal("stream kept producing after cancel")
+			}
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stream did not close within 1s of cancel")
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	tab := phase.Default()
+	mon, err := NewMonitor(tab, NewLastValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stream(context.Background(), nil, make(chan phase.Sample)); err == nil {
+		t.Error("nil monitor accepted")
+	}
+	if _, err := Stream(context.Background(), mon, nil); err == nil {
+		t.Error("nil channel accepted")
+	}
+}

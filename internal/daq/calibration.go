@@ -1,0 +1,67 @@
+package daq
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Calibration models the systematic errors of the measurement chain —
+// the reason the paper's absolute watts carry an instrument tolerance
+// even when the methodology is sound. Gain error scales the
+// conditioned voltage drops (and hence the computed currents);
+// offset adds a constant bias to each drop.
+type Calibration struct {
+	// GainError is the fractional gain error of the conditioning
+	// unit's differential channels (e.g. 0.005 = +0.5%).
+	GainError float64
+	// OffsetV is an additive bias on each conditioned voltage drop.
+	OffsetV float64
+}
+
+// Apply transforms an ideal sample through the calibration errors,
+// returning what the logging machine would actually record.
+func (c Calibration) Apply(s Sample) Sample {
+	// Reconstruct the drops the conditioning unit saw, perturb them,
+	// and recompute the currents with the nominal resistance.
+	const r = 0.002
+	d1 := s.I1*r*(1+c.GainError) + c.OffsetV
+	d2 := s.I2*r*(1+c.GainError) + c.OffsetV
+	s.I1 = d1 / r
+	s.I2 = d2 / r
+	return s
+}
+
+// ApplyAll maps Apply over a sample stream.
+func (c Calibration) ApplyAll(samples []Sample) []Sample {
+	out := make([]Sample, len(samples))
+	for i, s := range samples {
+		out[i] = c.Apply(s)
+	}
+	return out
+}
+
+// WriteCSV exports a sample stream (one row per DAQ record) for
+// external analysis, with reconstructed power as a derived column.
+func WriteCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_s", "vcpu_v", "i1_a", "i2_a", "port", "power_w"}); err != nil {
+		return fmt.Errorf("daq: writing header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i, s := range samples {
+		row := []string{
+			f(s.T), f(s.VCPU), f(s.I1), f(s.I2),
+			strconv.Itoa(int(s.Port)), f(s.PowerW()),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("daq: writing sample %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("daq: flushing: %w", err)
+	}
+	return nil
+}

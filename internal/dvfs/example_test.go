@@ -1,0 +1,40 @@
+package dvfs_test
+
+import (
+	"fmt"
+
+	"phasemon/internal/dvfs"
+	"phasemon/internal/phase"
+)
+
+func phaseID(p int) phase.ID { return phase.ID(p) }
+
+// The paper's Table 2: translating phases to SpeedStep settings.
+func ExampleIdentity() {
+	ladder := dvfs.PentiumM()
+	tr, err := dvfs.Identity(ladder, 6)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, p := range []int{1, 6} {
+		s := tr.Setting(phaseID(p))
+		fmt.Printf("phase %d -> %s\n", p, ladder.Point(s))
+	}
+	// Output:
+	// phase 1 -> (1500 MHz, 1484 mV)
+	// phase 6 -> ( 600 MHz,  956 mV)
+}
+
+// The controller skips writes when the setting is unchanged, exactly
+// like the paper's handler.
+func ExampleController_Set() {
+	c := dvfs.NewController(dvfs.PentiumM(), 50e-6)
+	cost1, _ := c.Set(3)
+	cost2, _ := c.Set(3) // same setting: free
+	fmt.Printf("transition cost: %.0f µs, repeat cost: %.0f µs\n", cost1*1e6, cost2*1e6)
+	fmt.Printf("transitions: %d\n", c.Transitions())
+	// Output:
+	// transition cost: 50 µs, repeat cost: 0 µs
+	// transitions: 1
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCalibrationRegression pins every benchmark's last-value and
+// GPHT(8, 1024) accuracies at the default full-length configuration.
+// These are the values EXPERIMENTS.md reports; a recipe or predictor
+// change that silently moves a benchmark by more than the tolerance
+// must be a conscious recalibration (update this table and the doc
+// together).
+func TestCalibrationRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length calibration check")
+	}
+	// {last-value accuracy, GPHT_8_1024 accuracy} at seed 1.
+	want := map[string][2]float64{
+		"crafty_in":       {1.000, 1.000},
+		"eon_cook":        {1.000, 1.000},
+		"eon_kajiya":      {1.000, 1.000},
+		"eon_rushmeier":   {1.000, 1.000},
+		"mesa_ref":        {1.000, 1.000},
+		"sixtrack_in":     {1.000, 1.000},
+		"swim_in":         {1.000, 1.000},
+		"vortex_lendian2": {0.979, 0.969},
+		"vortex_lendian1": {0.968, 0.953},
+		"mcf_inp":         {0.957, 0.957},
+		"vortex_lendian3": {0.950, 0.926},
+		"gzip_program":    {0.934, 0.932},
+		"gzip_graphic":    {0.927, 0.923},
+		"gzip_random":     {0.921, 0.916},
+		"gzip_source":     {0.916, 0.909},
+		"twolf_ref":       {0.913, 0.885},
+		"gzip_log":        {0.909, 0.909},
+		"gcc_200":         {0.898, 0.903},
+		"gcc_scilab":      {0.876, 0.881},
+		"wupwise_ref":     {0.865, 0.863},
+		"ammp_in":         {0.859, 0.858},
+		"parser_ref":      {0.858, 0.844},
+		"gcc_integrate":   {0.841, 0.855},
+		"gcc_expr":        {0.835, 0.848},
+		"gcc_166":         {0.831, 0.842},
+		"gap_ref":         {0.811, 0.812},
+		"apsi_ref":        {0.753, 0.747},
+		"bzip2_program":   {0.704, 0.861},
+		"mgrid_in":        {0.678, 0.905},
+		"bzip2_source":    {0.677, 0.850},
+		"bzip2_graphic":   {0.620, 0.779},
+		"applu_in":        {0.452, 0.932},
+		"equake_in":       {0.353, 0.923},
+	}
+	rows, err := Figure4(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(rows), len(want))
+	}
+	const tol = 0.03
+	for _, r := range rows {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Errorf("unexpected benchmark %q", r.Name)
+			continue
+		}
+		if d := math.Abs(r.Accuracy["LastValue"] - w[0]); d > tol {
+			t.Errorf("%s: last-value accuracy %.3f drifted from calibrated %.3f",
+				r.Name, r.Accuracy["LastValue"], w[0])
+		}
+		if d := math.Abs(r.Accuracy["GPHT_8_1024"] - w[1]); d > tol {
+			t.Errorf("%s: GPHT accuracy %.3f drifted from calibrated %.3f",
+				r.Name, r.Accuracy["GPHT_8_1024"], w[1])
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// ExportCSV writes machine-readable datasets for every data-backed
+// figure into dir (created if absent): fig2.csv .. fig13.csv. The
+// files carry exactly the series the paper's charts plot, ready for
+// external plotting tools.
+func ExportCSV(o Options, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating export dir: %w", err)
+	}
+	steps := []struct {
+		file  string
+		write func(o Options, w *csv.Writer) error
+	}{
+		{"fig2.csv", exportFig2},
+		{"fig3.csv", exportFig3},
+		{"fig4.csv", exportFig4},
+		{"fig5.csv", exportFig5},
+		{"fig6.csv", exportFig6},
+		{"fig7.csv", exportFig7},
+		{"fig10.csv", exportFig10},
+		{"fig11.csv", exportFig11},
+		{"fig12.csv", exportFig12},
+		{"fig13.csv", exportFig13},
+	}
+	for _, s := range steps {
+		if err := exportOne(filepath.Join(dir, s.file), o, s.write); err != nil {
+			return fmt.Errorf("experiments: exporting %s: %w", s.file, err)
+		}
+	}
+	return nil
+}
+
+func exportOne(path string, o Options, write func(Options, *csv.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := write(o, w); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func exportFig2(o Options, w *csv.Writer) error {
+	warmup, window := 1000, 120
+	if o.Intervals > 0 && o.Intervals < warmup+window {
+		if window > o.Intervals {
+			window = o.Intervals
+		}
+		warmup = o.Intervals - window
+	}
+	pts, err := Figure2(o, warmup, window)
+	if err != nil {
+		return err
+	}
+	if err := w.Write([]string{"interval", "mem_per_uop", "actual", "lastvalue", "gpht"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := w.Write([]string{
+			strconv.Itoa(p.Index), ftoa(p.MemPerUop),
+			strconv.Itoa(int(p.Actual)), strconv.Itoa(int(p.LastValue)), strconv.Itoa(int(p.GPHT)),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportFig3(o Options, w *csv.Writer) error {
+	pts, err := Figure3(o)
+	if err != nil {
+		return err
+	}
+	if err := w.Write([]string{"benchmark", "savings_potential", "variation", "quadrant"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := w.Write([]string{p.Name, ftoa(p.SavingsPotential), ftoa(p.Variation), p.Quadrant.String()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportFig4(o Options, w *csv.Writer) error {
+	rows, err := Figure4(o)
+	if err != nil {
+		return err
+	}
+	header := append([]string{"benchmark"}, Fig4Predictors...)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Name}
+		for _, p := range Fig4Predictors {
+			rec = append(rec, ftoa(r.Accuracy[p]))
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportFig5(o Options, w *csv.Writer) error {
+	rows, err := Figure5(o)
+	if err != nil {
+		return err
+	}
+	header := []string{"benchmark", "lastvalue"}
+	for _, s := range Fig5Sizes {
+		header = append(header, fmt.Sprintf("pht_%d", s))
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Name, ftoa(r.LastValue)}
+		for _, s := range Fig5Sizes {
+			rec = append(rec, ftoa(r.BySize[s]))
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportFig6(o Options, w *csv.Writer) error {
+	res, err := Figure6(o)
+	if err != nil {
+		return err
+	}
+	if err := w.Write([]string{"series", "upc", "mem_per_uop"}); err != nil {
+		return err
+	}
+	for _, p := range res.SPECPoints {
+		if err := w.Write([]string{"spec", ftoa(p.UPC), ftoa(p.MemPerUop)}); err != nil {
+			return err
+		}
+	}
+	for _, p := range res.Grid {
+		if err := w.Write([]string{"grid", ftoa(p.UPC), ftoa(p.MemPerUop)}); err != nil {
+			return err
+		}
+	}
+	for _, p := range res.Boundary {
+		if err := w.Write([]string{"boundary", ftoa(p.UPC), ftoa(p.MemPerUop)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportFig7(o Options, w *csv.Writer) error {
+	rows, err := Figure7(o)
+	if err != nil {
+		return err
+	}
+	if err := w.Write([]string{"target_upc", "target_mem", "freq_hz", "observed_upc", "observed_mem"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write([]string{
+			ftoa(r.Target.UPC), ftoa(r.Target.MemPerUop),
+			ftoa(r.FrequencyHz), ftoa(r.UPC), ftoa(r.MemPerUop),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportFig10(o Options, w *csv.Writer) error {
+	if o.Intervals == 0 {
+		o.Intervals = 300
+	}
+	res, err := Figure10(o)
+	if err != nil {
+		return err
+	}
+	if err := w.Write([]string{
+		"interval", "mem_per_uop", "actual", "predicted", "setting",
+		"power_base_w", "power_gpht_w", "bips_base", "bips_gpht",
+	}); err != nil {
+		return err
+	}
+	for _, iv := range res.Intervals {
+		if err := w.Write([]string{
+			strconv.Itoa(iv.Index), ftoa(iv.ManagedMemPerUop),
+			strconv.Itoa(int(iv.Actual)), strconv.Itoa(int(iv.Predicted)),
+			strconv.Itoa(int(iv.Setting)),
+			ftoa(iv.BaselinePowerW), ftoa(iv.ManagedPowerW),
+			ftoa(iv.BaselineBIPS), ftoa(iv.ManagedBIPS),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportFig11(o Options, w *csv.Writer) error {
+	rows, err := Figure11(o)
+	if err != nil {
+		return err
+	}
+	if err := w.Write([]string{"benchmark", "norm_bips", "norm_power", "norm_edp"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write([]string{r.Name, ftoa(r.NormalizedBIPS), ftoa(r.NormalizedPow), ftoa(r.NormalizedEDP)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportFig12(o Options, w *csv.Writer) error {
+	rows, err := Figure12(o)
+	if err != nil {
+		return err
+	}
+	if err := w.Write([]string{"benchmark", "edp_impr_lastvalue", "edp_impr_gpht", "deg_lastvalue", "deg_gpht"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write([]string{
+			r.Name,
+			ftoa(r.EDPImprovement["LastValue"]), ftoa(r.EDPImprovement["GPHT"]),
+			ftoa(r.Degradation["LastValue"]), ftoa(r.Degradation["GPHT"]),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportFig13(o Options, w *csv.Writer) error {
+	rows, err := Figure13(o)
+	if err != nil {
+		return err
+	}
+	if err := w.Write([]string{"benchmark", "degradation", "power_savings", "energy_savings", "edp_improvement"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write([]string{
+			r.Name, ftoa(r.Degradation), ftoa(r.PowerSavings),
+			ftoa(r.EnergySavings), ftoa(r.EDPImprovement),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

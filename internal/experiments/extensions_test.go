@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phasemon/internal/governor"
+	"phasemon/internal/kernelsim"
+)
+
+func TestExtensionsRegistryRuns(t *testing.T) {
+	for _, r := range Extensions() {
+		var buf bytes.Buffer
+		if err := r.Run(quick, &buf); err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", r.Name)
+		}
+	}
+}
+
+func TestLookupAny(t *testing.T) {
+	if _, err := LookupAny("fig4"); err != nil {
+		t.Errorf("paper experiment not found: %v", err)
+	}
+	if _, err := LookupAny("ext-dtm"); err != nil {
+		t.Errorf("extension not found: %v", err)
+	}
+	if _, err := LookupAny("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExtensionNamesDisjointFromPaperRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Registry() {
+		seen[r.Name] = true
+	}
+	for _, r := range Extensions() {
+		if seen[r.Name] {
+			t.Errorf("extension %q collides with a paper experiment", r.Name)
+		}
+		if !strings.HasPrefix(r.Name, "ext-") && !strings.HasPrefix(r.Name, "ablation-") {
+			t.Errorf("extension %q should be prefixed ext- or ablation-", r.Name)
+		}
+	}
+}
+
+func TestExtDTMReportsDecreasingPeaks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExtDTM(Options{Intervals: 600, Seed: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The report must include the unmanaged row and the three limits.
+	for _, want := range []string{"none", "55", "50", "45"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DTM report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationDepthShowsSweetSpot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAblationDepth(Options{Intervals: 2000, Seed: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// The applu macro-pattern needs context: depth 8 must appear with
+	// a high accuracy while depth 1 is near-random.
+	out := buf.String()
+	if !strings.Contains(out, "8") {
+		t.Fatalf("missing depth rows:\n%s", out)
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := ExportCSV(Options{Intervals: 150, Seed: 1}, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig2.csv", "fig3.csv", "fig4.csv", "fig5.csv", "fig6.csv",
+		"fig7.csv", "fig10.csv", "fig11.csv", "fig12.csv", "fig13.csv",
+	} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Count(string(b), "\n")
+		if lines < 2 {
+			t.Errorf("%s has only %d lines (header + data expected)", name, lines)
+		}
+	}
+	// fig3 carries all 33 benchmarks.
+	b, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(b), "\n"); got != 34 {
+		t.Errorf("fig3.csv has %d lines, want 34", got)
+	}
+}
+
+func TestPaperComparisonAllCriteriaPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale scorecard")
+	}
+	rows, err := PaperComparison(Options{Intervals: 2500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("scorecard has only %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Pass {
+			t.Errorf("criterion failed: %s — paper %s, measured %s (want %s)",
+				r.Quantity, r.Paper, r.Measured, r.Criterion)
+		}
+	}
+}
+
+func TestIntervalReconstructionHelpers(t *testing.T) {
+	// intervalPower/intervalBIPS reconstruct per-interval quantities
+	// from a kernel-log entry; they back Figure 10's fallback path
+	// when the DAQ clips the trailing phase.
+	r := &governor.Result{Log: []kernelsim.Entry{
+		{Index: 0, Uops: 100_000_000, Cycles: 150_000_000, UPC: 0.67, Setting: 0},
+		{Index: 1, Uops: 100_000_000, Cycles: 0, Setting: 5}, // degenerate
+	}}
+	p := intervalPower(r, 0)
+	if p < 5 || p > 15 {
+		t.Errorf("reconstructed power %v W implausible for the top setting", p)
+	}
+	// 150M cycles at 1.5GHz = 0.1s -> 1 Guops/s.
+	if b := intervalBIPS(r, 0); math.Abs(b-1.0) > 1e-9 {
+		t.Errorf("reconstructed BIPS %v, want 1.0", b)
+	}
+	if intervalPower(r, 1) != 0 || intervalBIPS(r, 1) != 0 {
+		t.Error("degenerate entry should reconstruct to zero")
+	}
+}

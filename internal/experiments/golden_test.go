@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The table experiments render the paper's exact artifacts, so their
+// output is pinned byte-for-byte.
+func TestTableRendersMatchGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(Options, *bytes.Buffer) error
+	}{
+		{"table1", func(o Options, b *bytes.Buffer) error { return runTable1(o, b) }},
+		{"table2", func(o Options, b *bytes.Buffer) error { return runTable2(o, b) }},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := c.run(Options{}, &buf); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", c.name+".golden"))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := bytes.TrimRight(buf.Bytes(), "\n"); !bytes.Equal(got, bytes.TrimRight(want, "\n")) {
+			t.Errorf("%s render drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+				c.name, got, want)
+		}
+	}
+}

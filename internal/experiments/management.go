@@ -1,0 +1,456 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"phasemon/internal/daq"
+	"phasemon/internal/dvfs"
+	"phasemon/internal/governor"
+	"phasemon/internal/phase"
+	"phasemon/internal/stats"
+	"phasemon/internal/workload"
+)
+
+// deployedPolicy is the configuration of the paper's deployed system:
+// GPHT with depth 8 and the 128-entry PHT chosen in Section 3.2.
+func deployedPolicy() governor.Policy { return governor.Proactive(8, 128) }
+
+// --- Figure 10 -----------------------------------------------------
+
+// Fig10Interval is one interval of the managed-vs-baseline applu run.
+type Fig10Interval struct {
+	Index int
+	// Baseline-run observations.
+	BaselineMemPerUop float64
+	BaselinePowerW    float64
+	BaselineBIPS      float64
+	// Managed-run observations.
+	ManagedMemPerUop float64
+	ManagedPowerW    float64
+	ManagedBIPS      float64
+	Actual           phase.ID
+	Predicted        phase.ID
+	Setting          dvfs.Setting
+}
+
+// Fig10Result is the full Figure 10 dataset plus run summaries and the
+// DAQ's independent measurement reports.
+type Fig10Result struct {
+	Intervals []Fig10Interval
+	Baseline  *governor.Result
+	Managed   *governor.Result
+	// BaselineDAQ and ManagedDAQ are the logging-machine reports the
+	// per-interval powers are taken from — Figure 10's power chart is
+	// measured, not modeled, exactly as in the paper.
+	BaselineDAQ daq.Report
+	ManagedDAQ  daq.Report
+}
+
+// Figure10 runs applu twice — unmanaged and GPHT-managed, both with
+// the DAQ measurement chain attached — and pairs the per-interval
+// series the paper's three charts plot: Mem/Uop and phases (top),
+// measured power (middle), BIPS (bottom).
+func Figure10(o Options) (*Fig10Result, error) {
+	o = o.withDefaults()
+	p, err := workload.ByName("applu_in")
+	if err != nil {
+		return nil, err
+	}
+	gen := p.Generator(o.params())
+	base, err := governor.RunMeasured(gen, governor.Unmanaged(), governor.Config{}, daq.Config{})
+	if err != nil {
+		return nil, err
+	}
+	managed, err := governor.RunMeasured(gen, deployedPolicy(), governor.Config{}, daq.Config{})
+	if err != nil {
+		return nil, err
+	}
+	n := len(base.Log)
+	if len(managed.Log) < n {
+		n = len(managed.Log)
+	}
+	res := &Fig10Result{
+		Baseline:    base.Result,
+		Managed:     managed.Result,
+		BaselineDAQ: base.Measurement,
+		ManagedDAQ:  managed.Measurement,
+	}
+	// Per-interval power comes from the DAQ's per-phase attribution
+	// (parallel-port bit flips), falling back to the analytic
+	// reconstruction for a trailing interval the sampler may clip.
+	measured := func(rep daq.Report, r *governor.Result, i int) float64 {
+		if i < len(rep.Phases) && rep.Phases[i].Samples > 0 {
+			return rep.Phases[i].AvgPowerW
+		}
+		return intervalPower(r, i)
+	}
+	for i := 0; i < n; i++ {
+		b, m := base.Log[i], managed.Log[i]
+		res.Intervals = append(res.Intervals, Fig10Interval{
+			Index:             i,
+			BaselineMemPerUop: b.MemPerUop,
+			BaselinePowerW:    measured(base.Measurement, base.Result, i),
+			BaselineBIPS:      intervalBIPS(base.Result, i),
+			ManagedMemPerUop:  m.MemPerUop,
+			ManagedPowerW:     measured(managed.Measurement, managed.Result, i),
+			ManagedBIPS:       intervalBIPS(managed.Result, i),
+			Actual:            m.Actual,
+			Predicted:         m.Predicted,
+			Setting:           m.Setting,
+		})
+	}
+	return res, nil
+}
+
+// intervalPower estimates an interval's average power from the kernel
+// log and the run's machine parameters: the log carries cycles and the
+// setting, from which duration and the power model's output follow.
+func intervalPower(r *governor.Result, i int) float64 {
+	e := r.Log[i]
+	ladder := dvfs.PentiumM()
+	pt := ladder.Point(e.Setting)
+	if e.Cycles == 0 {
+		return 0
+	}
+	// Reconstruct the power model locally (default machine parameters).
+	return defaultPowerModel().Power(pt.VoltageV, pt.FrequencyHz, e.UPC)
+}
+
+// intervalBIPS derives an interval's BIPS from logged cycles and the
+// setting's frequency.
+func intervalBIPS(r *governor.Result, i int) float64 {
+	e := r.Log[i]
+	if e.Cycles == 0 {
+		return 0
+	}
+	pt := dvfs.PentiumM().Point(e.Setting)
+	durS := float64(e.Cycles) / pt.FrequencyHz
+	// Uops are logged; instructions follow from the uop expansion the
+	// benchmark generator used. Uops/instr varies per benchmark, but
+	// for series plotting the uop rate is the same shape; report
+	// uops/s scaled to billions.
+	return float64(e.Uops) / durS / 1e9
+}
+
+func runFigure10(o Options, w io.Writer) error {
+	if o.Intervals == 0 {
+		o.Intervals = 300
+	}
+	res, err := Figure10(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "interval  mem/uop(base)  mem/uop(gpht)  actual  pred  setting  P(base)[W]  P(gpht)[W]  BIPS(base)  BIPS(gpht)")
+	for _, iv := range res.Intervals {
+		fmt.Fprintf(w, "%8d  %13.4f  %13.4f  %-6s  %-4s  %7d  %10.2f  %10.2f  %10.3f  %10.3f\n",
+			iv.Index, iv.BaselineMemPerUop, iv.ManagedMemPerUop,
+			phaseLabel(iv.Actual), phaseLabel(iv.Predicted), iv.Setting,
+			iv.BaselinePowerW, iv.ManagedPowerW, iv.BaselineBIPS, iv.ManagedBIPS)
+	}
+	fmt.Fprintf(w, "\nrun summary: baseline E=%.1fJ T=%.2fs | GPHT E=%.1fJ T=%.2fs | EDP improvement %s, perf degradation %s, prediction accuracy %s\n",
+		res.Baseline.Run.EnergyJ, res.Baseline.Run.TimeS,
+		res.Managed.Run.EnergyJ, res.Managed.Run.TimeS,
+		pct(governor.EDPImprovement(res.Baseline, res.Managed)),
+		pct(governor.PerformanceDegradation(res.Baseline, res.Managed)),
+		pctOf(res.Managed.Accuracy))
+	return nil
+}
+
+func pctOf(t stats.Tally) string {
+	a, err := t.Accuracy()
+	if err != nil {
+		return "n/a"
+	}
+	return pct(a)
+}
+
+// --- Figure 11 -----------------------------------------------------
+
+// Fig11Row is one benchmark's normalized managed-vs-baseline metrics.
+type Fig11Row struct {
+	Name           string
+	NormalizedBIPS float64
+	NormalizedPow  float64
+	NormalizedEDP  float64
+}
+
+// Figure11 runs every benchmark under the deployed GPHT governor and
+// reports BIPS, power and EDP normalized to the unmanaged baseline,
+// sorted by decreasing normalized EDP (the paper's ordering).
+func Figure11(o Options) ([]Fig11Row, error) {
+	o = o.withDefaults()
+	out, err := parMap(workload.All(), func(p *workload.Profile) (Fig11Row, error) {
+		gen := p.Generator(o.params())
+		res, err := governor.Compare(gen, []governor.Policy{governor.Unmanaged(), deployedPolicy()}, governor.Config{})
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		base, man := res["Baseline"], res[deployedPolicy().Name()]
+		return Fig11Row{
+			Name:           p.Name,
+			NormalizedBIPS: governor.NormalizedBIPS(base, man),
+			NormalizedPow:  governor.NormalizedPower(base, man),
+			NormalizedEDP:  governor.NormalizedEDP(base, man),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Sort by decreasing normalized EDP.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].NormalizedEDP > out[j-1].NormalizedEDP; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+func runFigure11(o Options, w io.Writer) error {
+	rows, err := Figure11(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "benchmark           norm.BIPS  norm.power  norm.EDP   (baseline = 100%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s  %s  %s  %s\n", r.Name, pct(r.NormalizedBIPS), pct(r.NormalizedPow), pct(r.NormalizedEDP))
+	}
+	return nil
+}
+
+// --- Figure 12 -----------------------------------------------------
+
+// Fig12Row compares reactive and proactive management on one
+// benchmark.
+type Fig12Row struct {
+	Name string
+	// EDPImprovement and Degradation per policy, keyed "LastValue" and
+	// "GPHT".
+	EDPImprovement map[string]float64
+	Degradation    map[string]float64
+}
+
+// Figure12 reproduces the proactive-vs-reactive comparison over the
+// paper's Q2/Q3/Q4 benchmark set.
+func Figure12(o Options) ([]Fig12Row, error) {
+	o = o.withDefaults()
+	return parMap(workload.Figure12Set(), func(p *workload.Profile) (Fig12Row, error) {
+		gen := p.Generator(o.params())
+		res, err := governor.Compare(gen,
+			[]governor.Policy{governor.Unmanaged(), governor.Reactive(), deployedPolicy()},
+			governor.Config{})
+		if err != nil {
+			return Fig12Row{}, err
+		}
+		base := res["Baseline"]
+		row := Fig12Row{
+			Name:           p.Name,
+			EDPImprovement: map[string]float64{},
+			Degradation:    map[string]float64{},
+		}
+		row.EDPImprovement["LastValue"] = governor.EDPImprovement(base, res["LastValue"])
+		row.EDPImprovement["GPHT"] = governor.EDPImprovement(base, res[deployedPolicy().Name()])
+		row.Degradation["LastValue"] = governor.PerformanceDegradation(base, res["LastValue"])
+		row.Degradation["GPHT"] = governor.PerformanceDegradation(base, res[deployedPolicy().Name()])
+		return row, nil
+	})
+}
+
+func runFigure12(o Options, w io.Writer) error {
+	rows, err := Figure12(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "benchmark           EDP improvement (LV / GPHT)   perf degradation (LV / GPHT)")
+	var sumLV, sumGP, sumDegLV, sumDegGP float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s  %s / %s            %s / %s\n",
+			r.Name, pct(r.EDPImprovement["LastValue"]), pct(r.EDPImprovement["GPHT"]),
+			pct(r.Degradation["LastValue"]), pct(r.Degradation["GPHT"]))
+		sumLV += r.EDPImprovement["LastValue"]
+		sumGP += r.EDPImprovement["GPHT"]
+		sumDegLV += r.Degradation["LastValue"]
+		sumDegGP += r.Degradation["GPHT"]
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(w, "%-18s  %s / %s            %s / %s\n", "AVERAGE",
+		pct(sumLV/n), pct(sumGP/n), pct(sumDegLV/n), pct(sumDegGP/n))
+	return nil
+}
+
+// --- Figure 13 -----------------------------------------------------
+
+// Fig13Benchmarks are the five applications the paper re-runs under
+// conservative phase definitions (those originally above 5%
+// degradation).
+var Fig13Benchmarks = []string{"mcf_inp", "applu_in", "equake_in", "swim_in", "mgrid_in"}
+
+// Fig13Row reports a bounded-degradation run.
+type Fig13Row struct {
+	Name           string
+	Degradation    float64
+	PowerSavings   float64
+	EnergySavings  float64
+	EDPImprovement float64
+}
+
+// Figure13 derives the conservative translation that bounds worst-case
+// slowdown at 5% (Section 6.3) and measures the five benchmarks under
+// it.
+func Figure13(o Options) ([]Fig13Row, error) {
+	o = o.withDefaults()
+	m := model()
+	// Derive at a pessimistic memory-level parallelism so the static
+	// bound covers the whole suite.
+	slow := func(mem, coreUPC, f, fmax float64) float64 {
+		return m.SlowdownMLP(mem, coreUPC, 2.0, f, fmax)
+	}
+	conservative, err := dvfs.DeriveBounded(dvfs.PentiumM(), phase.Default(), slow, 0.05, 1.5)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig13Row
+	for _, name := range Fig13Benchmarks {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		gen := p.Generator(o.params())
+		base, err := governor.Run(gen, governor.Unmanaged(), governor.Config{})
+		if err != nil {
+			return nil, err
+		}
+		bounded, err := governor.Run(gen, deployedPolicy(), governor.Config{Translation: conservative})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig13Row{
+			Name:           name,
+			Degradation:    governor.PerformanceDegradation(base, bounded),
+			PowerSavings:   governor.PowerSavings(base, bounded),
+			EnergySavings:  governor.EnergySavings(base, bounded),
+			EDPImprovement: governor.EDPImprovement(base, bounded),
+		})
+	}
+	return out, nil
+}
+
+func runFigure13(o Options, w io.Writer) error {
+	rows, err := Figure13(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "benchmark           perf.degradation  power savings  energy savings  EDP improvement")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s  %s  %s  %s  %s\n",
+			r.Name, pct(r.Degradation), pct(r.PowerSavings), pct(r.EnergySavings), pct(r.EDPImprovement))
+	}
+	return nil
+}
+
+// --- Headline numbers ----------------------------------------------
+
+// HeadlineResult aggregates the numbers the abstract quotes.
+type HeadlineResult struct {
+	// AppluMispredictionReduction is GPHT's misprediction-rate factor
+	// over the best statistical predictor on applu (paper: >6X).
+	AppluMispredictionReduction float64
+	// VariableSetReduction is the average GPHT misprediction
+	// improvement factor over the statistical predictors on Q3/Q4
+	// benchmarks (paper: 2.4X).
+	VariableSetReduction float64
+	// MaxVariableEDPImprovement is the best EDP improvement among
+	// variable (Q3) benchmarks (paper: 34%, equake).
+	MaxVariableEDPImprovement float64
+	// AvgEDPImprovement is the average GPHT EDP improvement over the
+	// Figure 12 set (paper: 27%).
+	AvgEDPImprovement float64
+	// AvgDegradation is the matching average performance degradation
+	// (paper: 5%).
+	AvgDegradation float64
+	// GPHTOverReactive is the average EDP-improvement advantage of
+	// proactive over reactive management (paper: 7%).
+	GPHTOverReactive float64
+}
+
+// Headline computes the abstract's quoted numbers from fresh runs.
+func Headline(o Options) (*HeadlineResult, error) {
+	o = o.withDefaults()
+	res := &HeadlineResult{}
+
+	// Prediction-side numbers from Figure 4's data.
+	fig4, err := Figure4(o)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]Fig4Row{}
+	for _, r := range fig4 {
+		byName[r.Name] = r
+	}
+	statistical := Fig4Predictors[:5]
+	applu := byName["applu_in"]
+	bestStat := 0.0
+	for _, s := range statistical {
+		if a := applu.Accuracy[s]; a > bestStat {
+			bestStat = a
+		}
+	}
+	res.AppluMispredictionReduction = (1 - bestStat) / (1 - applu.Accuracy["GPHT_8_1024"])
+
+	var sumRatio float64
+	var nRatio int
+	for _, p := range workload.VariableSet() {
+		row := byName[p.Name]
+		var statMis float64
+		for _, s := range statistical {
+			statMis += 1 - row.Accuracy[s]
+		}
+		statMis /= float64(len(statistical))
+		gMis := 1 - row.Accuracy["GPHT_8_1024"]
+		if gMis > 0 {
+			sumRatio += statMis / gMis
+			nRatio++
+		}
+	}
+	if nRatio > 0 {
+		res.VariableSetReduction = sumRatio / float64(nRatio)
+	}
+
+	// Management-side numbers from Figure 12's data.
+	fig12, err := Figure12(o)
+	if err != nil {
+		return nil, err
+	}
+	variable := map[string]bool{}
+	for _, p := range workload.VariableSet() {
+		variable[p.Name] = true
+	}
+	var sumGP, sumLV, sumDeg float64
+	for _, r := range fig12 {
+		sumGP += r.EDPImprovement["GPHT"]
+		sumLV += r.EDPImprovement["LastValue"]
+		sumDeg += r.Degradation["GPHT"]
+		if variable[r.Name] && r.EDPImprovement["GPHT"] > res.MaxVariableEDPImprovement {
+			res.MaxVariableEDPImprovement = r.EDPImprovement["GPHT"]
+		}
+	}
+	n := float64(len(fig12))
+	res.AvgEDPImprovement = sumGP / n
+	res.AvgDegradation = sumDeg / n
+	res.GPHTOverReactive = (sumGP - sumLV) / n
+	return res, nil
+}
+
+func runHeadline(o Options, w io.Writer) error {
+	h, err := Headline(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "applu misprediction reduction (GPHT vs best statistical): %.1fX  (paper: >6X)\n", h.AppluMispredictionReduction)
+	fmt.Fprintf(w, "Q3/Q4 average misprediction reduction:                     %.1fX  (paper: 2.4X)\n", h.VariableSetReduction)
+	fmt.Fprintf(w, "best variable-benchmark EDP improvement:                   %s (paper: 34%%, equake)\n", pct(h.MaxVariableEDPImprovement))
+	fmt.Fprintf(w, "average EDP improvement over Q2-Q4 set:                    %s (paper: 27%%)\n", pct(h.AvgEDPImprovement))
+	fmt.Fprintf(w, "average performance degradation:                           %s (paper: 5%%)\n", pct(h.AvgDegradation))
+	fmt.Fprintf(w, "proactive advantage over reactive (avg EDP):               %s (paper: 7%%)\n", pct(h.GPHTOverReactive))
+	return nil
+}

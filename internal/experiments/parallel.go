@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parMap evaluates f over items concurrently (bounded by GOMAXPROCS),
+// preserving input order in the results. The first error cancels
+// nothing — remaining items still run — but is the one returned;
+// results are deterministic because every item computes independently
+// from its own seeded generators.
+func parMap[T, R any](items []T, f func(T) (R, error)) ([]R, error) {
+	n := len(items)
+	results := make([]R, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = f(items[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := parMap(items, func(v int) (int, error) { return v * v, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParMapPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var calls atomic.Int64
+	_, err := parMap([]int{0, 1, 2, 3, 4}, func(v int) (int, error) {
+		calls.Add(1)
+		if v == 3 {
+			return 0, sentinel
+		}
+		return v, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Every item still ran (no cancellation semantics).
+	if calls.Load() != 5 {
+		t.Errorf("ran %d items, want 5", calls.Load())
+	}
+}
+
+func TestParMapEmptyAndSingle(t *testing.T) {
+	got, err := parMap(nil, func(v int) (int, error) { return v, nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty: %v, %v", got, err)
+	}
+	got, err = parMap([]int{7}, func(v int) (int, error) { return v + 1, nil })
+	if err != nil || len(got) != 1 || got[0] != 8 {
+		t.Errorf("single: %v, %v", got, err)
+	}
+}

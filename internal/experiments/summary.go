@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"phasemon/internal/workload"
+)
+
+// ComparisonRow pairs one paper-reported quantity with its measured
+// value and a pass/fail against the reproduction's shape criterion.
+type ComparisonRow struct {
+	Quantity  string
+	Paper     string
+	Measured  string
+	Criterion string
+	Pass      bool
+}
+
+// PaperComparison computes the reproduction scorecard: every headline
+// quantity the paper quotes, measured fresh, with explicit pass
+// criteria. This is the machine-checkable form of EXPERIMENTS.md's
+// summary table.
+func PaperComparison(o Options) ([]ComparisonRow, error) {
+	o = o.withDefaults()
+	h, err := Headline(o)
+	if err != nil {
+		return nil, err
+	}
+	fig4, err := Figure4(o)
+	if err != nil {
+		return nil, err
+	}
+	fig7, err := Figure7(o)
+	if err != nil {
+		return nil, err
+	}
+	fig13, err := Figure13(o)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ComparisonRow
+	add := func(q, paper, measured, criterion string, pass bool) {
+		rows = append(rows, ComparisonRow{q, paper, measured, criterion, pass})
+	}
+
+	// Prediction accuracy coverage.
+	high := 0
+	for _, r := range fig4 {
+		if r.Accuracy["GPHT_8_1024"] >= 0.9 {
+			high++
+		}
+	}
+	add("GPHT accuracy above 90%",
+		"many of the experimented benchmarks",
+		fmt.Sprintf("%d of %d benchmarks", high, len(fig4)),
+		">= half the suite", high*2 >= len(fig4))
+
+	add("applu misprediction reduction vs statistical",
+		">6X", fmt.Sprintf("%.1fX", h.AppluMispredictionReduction),
+		">= 6X", h.AppluMispredictionReduction >= 6)
+
+	add("Q3/Q4 average misprediction reduction",
+		"2.4X", fmt.Sprintf("%.1fX", h.VariableSetReduction),
+		">= 2X", h.VariableSetReduction >= 2)
+
+	// GPHT never collapses on the variable set.
+	worstVariable := 1.0
+	variable := map[string]bool{}
+	for _, p := range workload.VariableSet() {
+		variable[p.Name] = true
+	}
+	for _, r := range fig4 {
+		if variable[r.Name] && r.Accuracy["GPHT_8_1024"] < worstVariable {
+			worstVariable = r.Accuracy["GPHT_8_1024"]
+		}
+	}
+	add("worst GPHT accuracy on variable benchmarks",
+		"sustained high accuracy", fmt.Sprintf("%.1f%%", worstVariable*100),
+		">= 70%", worstVariable >= 0.70)
+
+	// DVFS invariance (Figure 7).
+	maxMemSpread := 0.0
+	maxUPCSwing := 0.0
+	byTarget := map[workload.GridPoint][2]float64{}
+	for _, r := range fig7 {
+		cur, ok := byTarget[r.Target]
+		if !ok {
+			cur = [2]float64{r.UPC, r.UPC}
+		}
+		if r.UPC < cur[0] {
+			cur[0] = r.UPC
+		}
+		if r.UPC > cur[1] {
+			cur[1] = r.UPC
+		}
+		byTarget[r.Target] = cur
+		if d := r.MemPerUop - r.Target.MemPerUop; d > maxMemSpread || -d > maxMemSpread {
+			if d < 0 {
+				d = -d
+			}
+			maxMemSpread = d
+		}
+	}
+	for _, mm := range byTarget {
+		if mm[0] > 0 {
+			if s := (mm[1] - mm[0]) / mm[0]; s > maxUPCSwing {
+				maxUPCSwing = s
+			}
+		}
+	}
+	add("Mem/Uop dependence on DVFS setting",
+		"virtually none", fmt.Sprintf("max deviation %.2g", maxMemSpread),
+		"exactly zero", maxMemSpread == 0)
+	add("max UPC swing across frequencies",
+		"up to 80%", fmt.Sprintf("%.0f%%", maxUPCSwing*100),
+		"60-95%", maxUPCSwing >= 0.6 && maxUPCSwing <= 0.95)
+
+	// Management results.
+	add("best variable-benchmark EDP improvement",
+		"34% (equake)", fmt.Sprintf("%.1f%%", h.MaxVariableEDPImprovement*100),
+		"20-50%", h.MaxVariableEDPImprovement >= 0.2 && h.MaxVariableEDPImprovement <= 0.5)
+	add("average EDP improvement (Q2-Q4 set)",
+		"27%", fmt.Sprintf("%.1f%%", h.AvgEDPImprovement*100),
+		"20-40%", h.AvgEDPImprovement >= 0.2 && h.AvgEDPImprovement <= 0.4)
+	add("average performance degradation",
+		"5%", fmt.Sprintf("%.1f%%", h.AvgDegradation*100),
+		"<= 12%", h.AvgDegradation >= 0 && h.AvgDegradation <= 0.12)
+	add("proactive advantage over reactive",
+		"7% EDP", fmt.Sprintf("%.1f%%", h.GPHTOverReactive*100),
+		"> 0", h.GPHTOverReactive > 0)
+
+	// Bounded degradation (Figure 13).
+	worstBounded := 0.0
+	for _, r := range fig13 {
+		if r.Degradation > worstBounded {
+			worstBounded = r.Degradation
+		}
+	}
+	add("worst degradation under conservative definitions",
+		"3.2%", fmt.Sprintf("%.1f%%", worstBounded*100),
+		"<= 5.5%", worstBounded <= 0.055)
+
+	return rows, nil
+}
+
+// runCompare renders the scorecard.
+func runCompare(o Options, w io.Writer) error {
+	rows, err := PaperComparison(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-48s %-28s %-24s %-12s %s\n", "quantity", "paper", "measured", "criterion", "ok")
+	pass := 0
+	for _, r := range rows {
+		mark := "PASS"
+		if !r.Pass {
+			mark = "FAIL"
+		} else {
+			pass++
+		}
+		fmt.Fprintf(w, "%-48s %-28s %-24s %-12s %s\n", r.Quantity, r.Paper, r.Measured, r.Criterion, mark)
+	}
+	fmt.Fprintf(w, "\n%d/%d reproduction criteria satisfied\n", pass, len(rows))
+	return nil
+}

@@ -1,0 +1,66 @@
+package governor
+
+import (
+	"math"
+	"testing"
+
+	"phasemon/internal/dvfs"
+	"phasemon/internal/power"
+)
+
+// TestRunAccountingConservation reconstructs a managed run's time and
+// energy from its kernel log (cycles + setting per interval, the same
+// data a user-level tool would read) and checks both against the run
+// totals: the simulator's books must balance through every layer.
+func TestRunAccountingConservation(t *testing.T) {
+	ladder := dvfs.PentiumM()
+	pow := power.Default()
+	for _, name := range []string{"applu_in", "mcf_inp", "crafty_in"} {
+		r, err := Run(gen(t, name, 300), Proactive(8, 128), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var timeS, energyJ float64
+		for _, e := range r.Log {
+			pt := ladder.Point(e.Setting)
+			dur := float64(e.Cycles) / pt.FrequencyHz
+			timeS += dur
+			energyJ += pow.Power(pt.VoltageV, pt.FrequencyHz, e.UPC) * dur
+		}
+		// Handler overhead is outside the log (TSC is reset across the
+		// handler) but bounded by the run's overhead accounting.
+		if rel := math.Abs(timeS-r.Run.TimeS) / r.Run.TimeS; rel > r.OverheadFraction+1e-6 {
+			t.Errorf("%s: log time %v vs run time %v (rel %v)", name, timeS, r.Run.TimeS, rel)
+		}
+		if rel := math.Abs(energyJ-r.Run.EnergyJ) / r.Run.EnergyJ; rel > 0.01 {
+			t.Errorf("%s: log energy %v vs run energy %v (rel %v)", name, energyJ, r.Run.EnergyJ, rel)
+		}
+	}
+}
+
+// TestPolicyEnergyOrdering: across every benchmark, managed energy
+// never exceeds baseline energy (the governor can only slow down, and
+// slowing down always saves energy under the platform's power model),
+// while managed time never beats baseline time.
+func TestPolicyEnergyOrdering(t *testing.T) {
+	for _, name := range []string{"swim_in", "applu_in", "gap_ref", "bzip2_graphic"} {
+		g := gen(t, name, 250)
+		res, err := Compare(g, []Policy{Unmanaged(), Reactive(), Proactive(8, 128)}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := res["Baseline"]
+		for _, pol := range []string{"LastValue", "GPHT_8_128"} {
+			m := res[pol]
+			if m.Run.EnergyJ > base.Run.EnergyJ*(1+1e-9) {
+				t.Errorf("%s/%s: managed energy %v above baseline %v", name, pol, m.Run.EnergyJ, base.Run.EnergyJ)
+			}
+			if m.Run.TimeS < base.Run.TimeS*(1-1e-9) {
+				t.Errorf("%s/%s: managed run faster than baseline", name, pol)
+			}
+			if m.Run.Instructions != base.Run.Instructions {
+				t.Errorf("%s/%s: instruction counts differ (%v vs %v)", name, pol, m.Run.Instructions, base.Run.Instructions)
+			}
+		}
+	}
+}

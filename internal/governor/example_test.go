@@ -1,0 +1,32 @@
+package governor_test
+
+import (
+	"fmt"
+	"log"
+
+	"phasemon/internal/governor"
+	"phasemon/internal/workload"
+)
+
+// A complete managed run: the applu workload under GPHT-guided DVFS,
+// compared against the unmanaged baseline.
+func ExampleCompare() {
+	prof, err := workload.ByName("swim_in")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := prof.Generator(workload.Params{Seed: 1, Intervals: 200})
+
+	res, err := governor.Compare(gen,
+		[]governor.Policy{governor.Unmanaged(), governor.Proactive(8, 128)},
+		governor.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, managed := res["Baseline"], res["GPHT_8_128"]
+	fmt.Printf("EDP improvement: %.0f%%\n", governor.EDPImprovement(base, managed)*100)
+	fmt.Printf("power savings:   %.0f%%\n", governor.PowerSavings(base, managed)*100)
+	// Output:
+	// EDP improvement: 56%
+	// power savings:   63%
+}

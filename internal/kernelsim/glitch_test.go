@@ -1,0 +1,113 @@
+package kernelsim
+
+import (
+	"testing"
+
+	"phasemon/internal/core"
+	"phasemon/internal/machine"
+	"phasemon/internal/phase"
+	"phasemon/internal/pmc"
+)
+
+// Counter glitches — saturated memory counters, a stopped TSC — must
+// never crash the handler or leak invalid phases into the predictor;
+// the paper's framework runs in interrupt context where a panic is a
+// kernel oops.
+func TestHandlerSurvivesCounterGlitches(t *testing.T) {
+	mon, err := core.NewMonitor(phase.Default(), core.MustNewGPHT(core.DefaultGPHTConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewModule(Config{Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{})
+	if err := mod.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	b := m.PMCs()
+
+	inject := func(memTx, tsc uint64) {
+		t.Helper()
+		// Fabricate an interval ending: counters read these values
+		// when the PMI fires.
+		if err := b.Write(SlotMem, memTx); err != nil {
+			t.Fatal(err)
+		}
+		b.WriteTSC(tsc)
+		cost := mod.HandlePMI(m)
+		if cost <= 0 {
+			t.Fatalf("handler cost %v after glitch injection", cost)
+		}
+	}
+
+	// Saturated memory counter: Mem/Uop far beyond any phase boundary.
+	inject((1<<pmc.CounterWidth)-1, 150_000_000)
+	// Stopped TSC: zero cycles -> UPC division guarded.
+	inject(1_000_000, 0)
+	// Zeroed memory counter.
+	inject(0, 150_000_000)
+
+	log := mod.ReadLog()
+	if len(log) != 3 {
+		t.Fatalf("logged %d entries", len(log))
+	}
+	for i, e := range log {
+		if !e.Actual.Valid(6) {
+			t.Errorf("entry %d: invalid phase %v", i, e.Actual)
+		}
+		if !e.Predicted.Valid(6) {
+			t.Errorf("entry %d: invalid prediction %v", i, e.Predicted)
+		}
+		if e.MemPerUop < 0 {
+			t.Errorf("entry %d: negative Mem/Uop %v", i, e.MemPerUop)
+		}
+	}
+	// The saturated-counter interval must classify as the top phase,
+	// and the stopped-TSC interval must report UPC 0 (guarded divide).
+	if log[0].Actual != 6 {
+		t.Errorf("saturated counter classified as %v, want P6", log[0].Actual)
+	}
+	if log[1].UPC != 0 {
+		t.Errorf("stopped-TSC UPC = %v, want 0", log[1].UPC)
+	}
+}
+
+// The handler keeps functioning after a glitch: a normal run following
+// injection behaves as usual.
+func TestHandlerRecoversAfterGlitch(t *testing.T) {
+	mon, err := core.NewMonitor(phase.Default(), core.NewLastValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewModule(Config{Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{})
+	if err := mod.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	// Inject one garbage interval.
+	if err := m.PMCs().Write(SlotMem, (1<<pmc.CounterWidth)-1); err != nil {
+		t.Fatal(err)
+	}
+	m.PMCs().WriteTSC(1)
+	mod.HandlePMI(m)
+
+	// Then run a real workload through the machine.
+	p := mustProfile(t, "gap_ref")
+	if _, err := m.Run(p.Generator(workloadParams(30)), mod); err != nil {
+		t.Fatal(err)
+	}
+	log := mod.ReadLog()
+	if len(log) != 31 {
+		t.Fatalf("logged %d entries, want 31", len(log))
+	}
+	for _, e := range log[1:] {
+		if e.Uops != 100_000_000 || !e.Actual.Valid(6) {
+			t.Fatalf("post-glitch entry malformed: %+v", e)
+		}
+	}
+}

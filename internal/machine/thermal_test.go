@@ -1,0 +1,69 @@
+package machine
+
+import (
+	"testing"
+
+	"phasemon/internal/thermal"
+	"phasemon/internal/workload"
+)
+
+func runWithThermal(t *testing.T, th *thermal.Model) RunResult {
+	t.Helper()
+	m := New(Config{Thermal: th})
+	if err := m.PMCs().Configure(0, 1 /* uops */, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PMCs().Arm(0, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	m.PMCs().Start()
+	p, err := workload.ByName("crafty_in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(p.Generator(workload.Params{Seed: 1, Intervals: 150}), &rearmHandler{gran: 100_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestThermalLeakageFeedback(t *testing.T) {
+	// Without a thermal model, leakage is evaluated at the calibration
+	// temperature. A die starting cold spends the run below it (less
+	// leakage); a die starting hot spends it above (more leakage).
+	noThermal := runWithThermal(t, nil)
+
+	coldCfg := thermal.DefaultConfig() // starts at 35 °C ambient
+	cold, err := thermal.New(coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRun := runWithThermal(t, cold)
+
+	hotCfg := thermal.DefaultConfig()
+	hotCfg.InitialC = 85
+	hot, err := thermal.New(hotCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotRun := runWithThermal(t, hot)
+
+	if !(coldRun.EnergyJ < noThermal.EnergyJ) {
+		t.Errorf("cold-start energy %v not below reference-temperature energy %v",
+			coldRun.EnergyJ, noThermal.EnergyJ)
+	}
+	if !(hotRun.EnergyJ > noThermal.EnergyJ) {
+		t.Errorf("hot-start energy %v not above reference-temperature energy %v",
+			hotRun.EnergyJ, noThermal.EnergyJ)
+	}
+	// Identical work and frequency: times agree regardless of
+	// temperature (leakage heats, it does not slow).
+	if coldRun.TimeS != noThermal.TimeS || hotRun.TimeS != noThermal.TimeS {
+		t.Errorf("run times differ with thermal model attached")
+	}
+	// The thermal model advanced during the run.
+	if cold.TemperatureC() <= thermal.DefaultConfig().AmbientC {
+		t.Errorf("die did not heat: %v", cold.TemperatureC())
+	}
+}

@@ -1,0 +1,29 @@
+package memhier_test
+
+import (
+	"fmt"
+
+	"phasemon/internal/memhier"
+)
+
+// From program locality to the paper's phase metric: working sets on
+// either side of the L2 capacity produce opposite ends of the Mem/Uop
+// range.
+func ExampleModel_MemPerUop() {
+	m := memhier.Default()
+	for _, ws := range []float64{16 << 10, 64 << 20} {
+		mem, err := m.MemPerUop(memhier.AccessProfile{
+			AccessesPerUop:  0.35,
+			WorkingSetBytes: ws,
+			SpatialRun:      4,
+		})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("working set %4.0f KB -> Mem/Uop %.4f\n", ws/1024, mem)
+	}
+	// Output:
+	// working set   16 KB -> Mem/Uop 0.0000
+	// working set 65536 KB -> Mem/Uop 0.0861
+}

@@ -1,0 +1,59 @@
+package memhier
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loaded describes the self-consistent operating point of a core
+// driving the shared bus: memory latency depends on bus utilization,
+// utilization depends on execution rate, and execution rate depends on
+// latency. LoadedTimePerUop solves that fixed point in closed form.
+type Loaded struct {
+	// TimePerUopS is the converged execution time per uop.
+	TimePerUopS float64
+	// Utilization is the bus utilization in [0, 1).
+	Utilization float64
+	// EffectiveLatencyS is the queue-inflated per-transaction latency.
+	EffectiveLatencyS float64
+}
+
+// LoadedTimePerUop computes the steady-state per-uop execution time
+// for code with the given compute time per uop (seconds) and bus
+// transactions per uop, against this hierarchy's bus.
+//
+// With a = compute s/uop, L = unloaded memory s/uop, and k = bus
+// service s/uop (transactions × line bytes / peak bandwidth), the
+// M/M/1-loaded time satisfies T = a + L/(1 − k/T), whose physical root
+// is
+//
+//	T = ((a+k+L) + sqrt((a+k+L)² − 4ak)) / 2.
+//
+// The discriminant is always non-negative and the root satisfies
+// T ≥ max(a, k), so utilization k/T stays below 1. With serialized
+// misses a single core is further bounded by k/(k+L) — each miss
+// occupies the core for the full latency L but the bus only for its
+// transfer time k — so one core cannot saturate the bus alone; real
+// saturation needs memory-level parallelism or multiple cores, which
+// is what the Config.BusPeakBytesPerS headroom represents.
+func (m *Model) LoadedTimePerUop(computeSPerUop, txPerUop float64) (Loaded, error) {
+	if !(computeSPerUop > 0) || math.IsInf(computeSPerUop, 0) {
+		return Loaded{}, fmt.Errorf("memhier: compute time %v must be positive", computeSPerUop)
+	}
+	if txPerUop < 0 || math.IsNaN(txPerUop) || math.IsInf(txPerUop, 0) {
+		return Loaded{}, fmt.Errorf("memhier: transactions/uop %v invalid", txPerUop)
+	}
+	a := computeSPerUop
+	if txPerUop == 0 {
+		return Loaded{TimePerUopS: a, Utilization: 0, EffectiveLatencyS: m.cfg.BaseLatencyS}, nil
+	}
+	l := txPerUop * m.cfg.BaseLatencyS
+	k := txPerUop * m.cfg.L2.LineBytes / m.cfg.BusPeakBytesPerS
+
+	sum := a + k + l
+	disc := sum*sum - 4*a*k
+	t := (sum + math.Sqrt(disc)) / 2
+	util := k / t
+	eff := (t - a) / txPerUop
+	return Loaded{TimePerUopS: t, Utilization: util, EffectiveLatencyS: eff}, nil
+}

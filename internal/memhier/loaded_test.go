@@ -1,0 +1,110 @@
+package memhier
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadedNoMemoryTraffic(t *testing.T) {
+	m := Default()
+	got, err := m.LoadedTimePerUop(1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TimePerUopS != 1e-9 || got.Utilization != 0 {
+		t.Errorf("CPU-only loaded point = %+v", got)
+	}
+}
+
+func TestLoadedSolvesFixedPoint(t *testing.T) {
+	// The returned T must satisfy T = a + L/(1 − k/T) to numerical
+	// precision.
+	m := Default()
+	cfg := m.Config()
+	for _, tc := range []struct{ a, tx float64 }{
+		{1e-9, 0.001},
+		{0.5e-9, 0.03},
+		{2e-9, 0.1},
+		{1e-10, 0.25},
+	} {
+		got, err := m.LoadedTimePerUop(tc.a, tc.tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := tc.tx * cfg.BaseLatencyS
+		k := tc.tx * cfg.L2.LineBytes / cfg.BusPeakBytesPerS
+		rhs := tc.a + l/(1-k/got.TimePerUopS)
+		if math.Abs(rhs-got.TimePerUopS)/got.TimePerUopS > 1e-9 {
+			t.Errorf("a=%v tx=%v: T=%v but fixed point says %v", tc.a, tc.tx, got.TimePerUopS, rhs)
+		}
+		if got.Utilization < 0 || got.Utilization >= 1 {
+			t.Errorf("utilization %v out of [0,1)", got.Utilization)
+		}
+		if got.EffectiveLatencyS < cfg.BaseLatencyS-1e-15 {
+			t.Errorf("effective latency %v below unloaded %v", got.EffectiveLatencyS, cfg.BaseLatencyS)
+		}
+	}
+}
+
+func TestLoadedMonotoneInTraffic(t *testing.T) {
+	m := Default()
+	prevT, prevU := 0.0, 0.0
+	for tx := 0.001; tx < 0.3; tx *= 1.5 {
+		got, err := m.LoadedTimePerUop(1e-9, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TimePerUopS < prevT || got.Utilization < prevU {
+			t.Fatalf("not monotone at tx=%v: %+v", tx, got)
+		}
+		prevT, prevU = got.TimePerUopS, got.Utilization
+	}
+	// Heavy streaming approaches — but cannot exceed — the serialized
+	// single-core ceiling k/(k+L): each miss holds the core for the
+	// full latency but occupies the bus only for its transfer time.
+	cfg := m.Config()
+	k := cfg.L2.LineBytes / cfg.BusPeakBytesPerS
+	ceiling := k / (k + cfg.BaseLatencyS)
+	heavy, err := m.LoadedTimePerUop(1e-10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Utilization < 0.85*ceiling || heavy.Utilization > ceiling {
+		t.Errorf("heavy streaming utilization %v, want just under ceiling %v", heavy.Utilization, ceiling)
+	}
+	// Queueing inflates latency by up to 1+k/L at that ceiling.
+	if heavy.EffectiveLatencyS < 1.15*cfg.BaseLatencyS {
+		t.Errorf("heavy streaming latency %v shows no queueing", heavy.EffectiveLatencyS)
+	}
+}
+
+func TestLoadedNeverSaturatesProperty(t *testing.T) {
+	m := Default()
+	f := func(aRaw, txRaw uint16) bool {
+		a := 1e-11 + float64(aRaw)*1e-12
+		tx := float64(txRaw) / 65535 * 0.5
+		got, err := m.LoadedTimePerUop(a, tx)
+		if err != nil {
+			return false
+		}
+		return got.Utilization >= 0 && got.Utilization < 1 &&
+			got.TimePerUopS >= a && !math.IsNaN(got.TimePerUopS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadedValidation(t *testing.T) {
+	m := Default()
+	if _, err := m.LoadedTimePerUop(0, 0.01); err == nil {
+		t.Error("zero compute time accepted")
+	}
+	if _, err := m.LoadedTimePerUop(1e-9, -1); err == nil {
+		t.Error("negative traffic accepted")
+	}
+	if _, err := m.LoadedTimePerUop(math.Inf(1), 0.01); err == nil {
+		t.Error("infinite compute time accepted")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package perfevent
+
+// openImpl reports hardware counters as unavailable on platforms
+// without a perf_event_open backend.
+func openImpl(pid int) (groupImpl, error) {
+	return nil, ErrUnsupported
+}

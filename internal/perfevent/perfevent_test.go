@@ -1,0 +1,128 @@
+package perfevent
+
+import (
+	"testing"
+	"time"
+
+	"phasemon/internal/core"
+	"phasemon/internal/phase"
+)
+
+// burn does enough work that retired-instruction counters must move.
+func burn() int {
+	s := 0
+	for i := 0; i < 5_000_000; i++ {
+		s += i * i
+	}
+	return s
+}
+
+func requireCounters(t *testing.T) {
+	t.Helper()
+	if err := Available(); err != nil {
+		t.Skipf("hardware counters unavailable here (normal in containers): %v", err)
+	}
+}
+
+func TestAvailableReportsCoherently(t *testing.T) {
+	// Either Available works and Open must too, or both fail the same
+	// way — no half-open states.
+	err := Available()
+	g, openErr := Open(0)
+	if (err == nil) != (openErr == nil) {
+		t.Fatalf("Available()=%v but Open()=%v", err, openErr)
+	}
+	if g != nil {
+		g.Close()
+	}
+}
+
+func TestCountersAdvanceUnderLoad(t *testing.T) {
+	requireCounters(t)
+	g, err := Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	before, err := g.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burn() < 0 {
+		t.Fatal("unreachable")
+	}
+	after, err := g.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Instructions <= before.Instructions {
+		t.Errorf("instructions did not advance: %d -> %d", before.Instructions, after.Instructions)
+	}
+	if after.Time.Before(before.Time) {
+		t.Error("time went backwards")
+	}
+}
+
+func TestSamplesFeedMonitor(t *testing.T) {
+	requireCounters(t)
+	g, err := Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	stop := make(chan struct{})
+	samples, err := g.Samples(stop, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := core.NewMonitor(phase.Default(), core.NewLastValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			burn()
+		}
+		close(stop)
+	}()
+	n := 0
+	for s := range samples {
+		actual, next := mon.Step(s)
+		if !actual.Valid(6) || !next.Valid(6) {
+			t.Fatalf("invalid live classification %v/%v for sample %+v", actual, next, s)
+		}
+		n++
+	}
+	<-done
+	if n == 0 {
+		t.Error("no live samples produced")
+	}
+}
+
+func TestSamplesValidation(t *testing.T) {
+	requireCounters(t)
+	g, err := Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Samples(make(chan struct{}), 0); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestDeriveSample(t *testing.T) {
+	prev := Counts{Instructions: 1000, CacheMisses: 10}
+	cur := Counts{Instructions: 2000, CacheMisses: 40}
+	s := deriveSample(prev, cur)
+	if s.MemPerUop != 0.03 {
+		t.Errorf("MemPerUop = %v, want 0.03", s.MemPerUop)
+	}
+	// Stalled interval (no instructions) degrades to a zero sample
+	// instead of dividing by zero.
+	if got := deriveSample(prev, prev); got.MemPerUop != 0 {
+		t.Errorf("zero-delta sample = %+v", got)
+	}
+}

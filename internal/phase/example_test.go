@@ -1,0 +1,35 @@
+package phase_test
+
+import (
+	"fmt"
+
+	"phasemon/internal/phase"
+)
+
+// Classifying raw counter readings into the paper's Table 1 phases.
+func ExampleTable_Classify() {
+	tab := phase.Default()
+	for _, memPerUop := range []float64{0.001, 0.007, 0.018, 0.05} {
+		p := tab.Classify(phase.Sample{MemPerUop: memPerUop})
+		fmt.Printf("Mem/Uop %.3f -> %s\n", memPerUop, p)
+	}
+	// Output:
+	// Mem/Uop 0.001 -> P1
+	// Mem/Uop 0.007 -> P2
+	// Mem/Uop 0.018 -> P4
+	// Mem/Uop 0.050 -> P6
+}
+
+// Custom phase definitions plug into the same framework.
+func ExampleNewTable() {
+	tab, err := phase.NewTable("three", []float64{0.010, 0.025})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(tab.NumPhases(), "phases")
+	fmt.Println(tab.Classify(phase.Sample{MemPerUop: 0.02}))
+	// Output:
+	// 3 phases
+	// P2
+}

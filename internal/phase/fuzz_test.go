@@ -1,0 +1,44 @@
+package phase
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzTableClassify(f *testing.F) {
+	f.Add(0.0)
+	f.Add(0.005)
+	f.Add(0.031)
+	f.Add(-1.0)
+	f.Add(math.Inf(1))
+	f.Add(math.NaN())
+	tab := Default()
+	f.Fuzz(func(t *testing.T, mem float64) {
+		id := tab.Classify(Sample{MemPerUop: mem})
+		if !id.Valid(tab.NumPhases()) {
+			t.Fatalf("Classify(%v) = %v, invalid", mem, id)
+		}
+		// For well-formed inputs the result's range must contain the
+		// sample.
+		if mem >= 0 && !math.IsNaN(mem) && !math.IsInf(mem, 0) {
+			lo, hi := tab.Range(id)
+			if mem < lo || mem >= hi {
+				t.Fatalf("Classify(%v) = %v but range is [%v, %v)", mem, id, lo, hi)
+			}
+		}
+	})
+}
+
+func FuzzUPCTableClassify(f *testing.F) {
+	f.Add(0.0)
+	f.Add(0.3)
+	f.Add(2.5)
+	f.Add(math.NaN())
+	tab := DefaultUPC()
+	f.Fuzz(func(t *testing.T, upc float64) {
+		id := tab.Classify(Sample{UPC: upc})
+		if !id.Valid(tab.NumPhases()) {
+			t.Fatalf("Classify(UPC=%v) = %v, invalid", upc, id)
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package pmc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigureReadWrite(t *testing.T) {
+	b := NewBank()
+	if err := b.Configure(0, EventUopsRetired, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Configure(1, EventBusTranMem, false); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := b.Event(0); e != EventUopsRetired {
+		t.Errorf("Event(0) = %v", e)
+	}
+	if e, _ := b.Event(1); e != EventBusTranMem {
+		t.Errorf("Event(1) = %v", e)
+	}
+	if err := b.Write(0, 123); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := b.Read(0); v != 123 {
+		t.Errorf("Read(0) = %d", v)
+	}
+}
+
+func TestSlotValidation(t *testing.T) {
+	b := NewBank()
+	for _, slot := range []int{-1, NumProgrammable, 99} {
+		if err := b.Configure(slot, EventNone, false); err == nil {
+			t.Errorf("Configure(%d): expected error", slot)
+		}
+		if err := b.Write(slot, 0); err == nil {
+			t.Errorf("Write(%d): expected error", slot)
+		}
+		if _, err := b.Read(slot); err == nil {
+			t.Errorf("Read(%d): expected error", slot)
+		}
+		if _, err := b.Event(slot); err == nil {
+			t.Errorf("Event(%d): expected error", slot)
+		}
+		if err := b.Arm(slot, 1); err == nil {
+			t.Errorf("Arm(%d): expected error", slot)
+		}
+		if _, err := b.UntilOverflow(slot); err == nil {
+			t.Errorf("UntilOverflow(%d): expected error", slot)
+		}
+	}
+}
+
+func TestWriteMasksToCounterWidth(t *testing.T) {
+	b := NewBank()
+	if err := b.Write(0, 1<<CounterWidth|42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := b.Read(0); v != 42 {
+		t.Errorf("Read = %d, want masked 42", v)
+	}
+}
+
+func TestArmAndOverflowPMI(t *testing.T) {
+	b := NewBank()
+	if err := b.Configure(0, EventUopsRetired, true); err != nil {
+		t.Fatal(err)
+	}
+	const gran = 100_000_000
+	if err := b.Arm(0, gran); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := b.UntilOverflow(0); n != gran {
+		t.Fatalf("UntilOverflow = %d, want %d", n, gran)
+	}
+	b.Start()
+	// Advance just short of the granularity: no PMI.
+	if pmi := b.Advance(Delta{Uops: gran - 1}); pmi {
+		t.Fatal("premature PMI")
+	}
+	if n, _ := b.UntilOverflow(0); n != 1 {
+		t.Fatalf("UntilOverflow = %d, want 1", n)
+	}
+	// One more uop: overflow, PMI, counter wraps to 0.
+	if pmi := b.Advance(Delta{Uops: 1}); !pmi {
+		t.Fatal("expected PMI on overflow")
+	}
+	if v, _ := b.Read(0); v != 0 {
+		t.Errorf("counter after wrap = %d, want 0", v)
+	}
+	if b.PMICount() != 1 {
+		t.Errorf("PMICount = %d, want 1", b.PMICount())
+	}
+}
+
+func TestOverflowWithoutInterruptEnable(t *testing.T) {
+	b := NewBank()
+	if err := b.Configure(0, EventBusTranMem, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Arm(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	if pmi := b.Advance(Delta{MemTransactions: 100}); pmi {
+		t.Fatal("PMI raised with interrupts disabled")
+	}
+	if b.PMICount() != 0 {
+		t.Errorf("PMICount = %d", b.PMICount())
+	}
+	// Counter still wrapped and kept counting the excess.
+	if v, _ := b.Read(0); v != 90 {
+		t.Errorf("counter = %d, want 90", v)
+	}
+}
+
+func TestArmValidation(t *testing.T) {
+	b := NewBank()
+	if err := b.Arm(0, 0); err == nil {
+		t.Error("Arm(0 events) should fail")
+	}
+	if err := b.Arm(0, 1<<CounterWidth); err == nil {
+		t.Error("Arm beyond counter width should fail")
+	}
+	if err := b.Arm(0, (1<<CounterWidth)-1); err != nil {
+		t.Errorf("Arm at limit: %v", err)
+	}
+}
+
+func TestStoppedBankDoesNotCount(t *testing.T) {
+	b := NewBank()
+	if err := b.Configure(0, EventUopsRetired, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if pmi := b.Advance(Delta{Uops: 50, Cycles: 100}); pmi {
+		t.Fatal("stopped bank raised PMI")
+	}
+	if v, _ := b.Read(0); v != 0 {
+		t.Errorf("stopped bank counted: %d", v)
+	}
+	if b.TSC() != 0 {
+		t.Errorf("stopped bank advanced TSC: %d", b.TSC())
+	}
+	b.Start()
+	if !b.Running() {
+		t.Error("Running() after Start")
+	}
+	b.Advance(Delta{Uops: 50, Cycles: 100})
+	if v, _ := b.Read(0); v != 50 {
+		t.Errorf("running bank did not count: %d", v)
+	}
+	if b.TSC() != 100 {
+		t.Errorf("TSC = %d", b.TSC())
+	}
+	b.Stop()
+	if b.Running() {
+		t.Error("Running() after Stop")
+	}
+}
+
+func TestEventRouting(t *testing.T) {
+	b := NewBank()
+	if err := b.Configure(0, EventInstrRetired, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Configure(1, EventBusTranMem, false); err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	b.Advance(Delta{Uops: 10, Instructions: 7, MemTransactions: 3, Cycles: 20})
+	if v, _ := b.Read(0); v != 7 {
+		t.Errorf("instr counter = %d, want 7", v)
+	}
+	if v, _ := b.Read(1); v != 3 {
+		t.Errorf("mem counter = %d, want 3", v)
+	}
+}
+
+func TestAdvanceAccumulatesAcrossChunks(t *testing.T) {
+	// The machine executes work in PMI-bounded chunks; counts must sum
+	// exactly regardless of how the work is split.
+	f := func(parts []uint16) bool {
+		b := NewBank()
+		if err := b.Configure(0, EventUopsRetired, false); err != nil {
+			return false
+		}
+		b.Start()
+		var want uint64
+		for _, p := range parts {
+			b.Advance(Delta{Uops: uint64(p)})
+			want += uint64(p)
+		}
+		got, _ := b.Read(0)
+		return got == want&((1<<CounterWidth)-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTSCAndReset(t *testing.T) {
+	b := NewBank()
+	b.WriteTSC(999)
+	if b.TSC() != 999 {
+		t.Errorf("TSC = %d", b.TSC())
+	}
+	if err := b.Configure(0, EventUopsRetired, true); err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	b.Advance(Delta{Uops: 5, Cycles: 5})
+	b.Reset()
+	if b.TSC() != 0 || b.Running() || b.PMICount() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if e, _ := b.Event(0); e != EventNone {
+		t.Error("Reset did not clear configuration")
+	}
+}
+
+func TestEventIDString(t *testing.T) {
+	cases := map[EventID]string{
+		EventNone:         "NONE",
+		EventUopsRetired:  "UOPS_RETIRED",
+		EventInstrRetired: "INSTR_RETIRED",
+		EventBusTranMem:   "BUS_TRAN_MEM",
+		EventID(42):       "EVENT(42)",
+	}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(e), got, want)
+		}
+	}
+}

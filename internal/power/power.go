@@ -1,0 +1,274 @@
+// Package power models CPU power consumption as a function of supply
+// voltage, clock frequency and activity, plus the energy and
+// energy-delay-product accounting the paper's evaluation uses.
+//
+// The model is the standard CMOS decomposition
+//
+//	P = Ceff·act(UPC)·V²·f  +  Pleak(V)  +  Pbase
+//
+// where the dynamic term scales with switched capacitance, activity,
+// the square of voltage and the clock, the leakage term grows
+// super-linearly with voltage, and Pbase covers always-on platform
+// components on the measured CPU rail. Parameters are calibrated so a
+// busy Pentium-M at its 1.5 GHz / 1.484 V top operating point
+// dissipates roughly 10–12 W and an idle-ish memory-bound interval at
+// 600 MHz / 0.956 V a couple of watts — the scale of the paper's
+// Figure 10 — but absolute watts are not the reproduction target;
+// power *ratios* across operating points are.
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Config holds the power-model parameters.
+type Config struct {
+	// CeffF is the effective switched capacitance in farads.
+	CeffF float64
+	// ActivityMin is the activity factor of a fully stalled core
+	// (clock tree and idle structures still switch).
+	ActivityMin float64
+	// ActivitySlope converts observed UPC into additional activity:
+	// act = min(ActivityMin + ActivitySlope·UPC, ActivityMax).
+	ActivitySlope float64
+	// ActivityMax caps the activity factor.
+	ActivityMax float64
+	// LeakW is the leakage power in watts at voltage VRef.
+	LeakW float64
+	// LeakAlpha is the exponential voltage sensitivity of leakage:
+	// Pleak(V) = LeakW·(V/VRef)²·exp(LeakAlpha·(V−VRef)).
+	LeakAlpha float64
+	// VRefV is the reference voltage for leakage calibration.
+	VRefV float64
+	// BaseW is the constant floor on the measured CPU rail.
+	BaseW float64
+	// LeakTempCoeffPerC is the exponential temperature sensitivity of
+	// leakage: PowerAt multiplies the leakage term by
+	// exp(LeakTempCoeffPerC·(T − LeakTempRefC)). Zero disables the
+	// coupling (Power then equals PowerAt at any temperature).
+	LeakTempCoeffPerC float64
+	// LeakTempRefC is the temperature the LeakW calibration refers to.
+	LeakTempRefC float64
+}
+
+// DefaultConfig returns the Pentium-M-calibrated parameters.
+func DefaultConfig() Config {
+	return Config{
+		CeffF:         2.4e-9,
+		ActivityMin:   0.5,
+		ActivitySlope: 0.35,
+		ActivityMax:   1.3,
+		LeakW:         1.5,
+		LeakAlpha:     2.0,
+		VRefV:         1.484,
+		BaseW:         0.6,
+		// Leakage roughly doubles every 25 °C around a 55 °C reference.
+		LeakTempCoeffPerC: math.Ln2 / 25,
+		LeakTempRefC:      55,
+	}
+}
+
+// Validate checks the configuration for physical plausibility.
+func (c Config) Validate() error {
+	switch {
+	case !(c.CeffF > 0):
+		return fmt.Errorf("power: Ceff %v must be positive", c.CeffF)
+	case !(c.ActivityMin > 0):
+		return fmt.Errorf("power: ActivityMin %v must be positive", c.ActivityMin)
+	case c.ActivitySlope < 0:
+		return fmt.Errorf("power: ActivitySlope %v must be non-negative", c.ActivitySlope)
+	case !(c.ActivityMax >= c.ActivityMin):
+		return fmt.Errorf("power: ActivityMax %v below ActivityMin %v", c.ActivityMax, c.ActivityMin)
+	case !(c.LeakW >= 0):
+		return fmt.Errorf("power: LeakW %v must be non-negative", c.LeakW)
+	case !(c.VRefV > 0):
+		return fmt.Errorf("power: VRef %v must be positive", c.VRefV)
+	case c.BaseW < 0 || math.IsNaN(c.BaseW):
+		return fmt.Errorf("power: BaseW %v must be non-negative", c.BaseW)
+	}
+	return nil
+}
+
+// Model computes power from operating conditions.
+type Model struct {
+	cfg Config
+}
+
+// New builds a model from the configuration.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// MustNew is New that panics on invalid configuration.
+func MustNew(cfg Config) *Model {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Default returns a model with DefaultConfig.
+func Default() *Model { return MustNew(DefaultConfig()) }
+
+// Config returns the model's parameters.
+func (m *Model) Config() Config { return m.cfg }
+
+// Activity returns the activity factor for an observed UPC.
+func (m *Model) Activity(upc float64) float64 {
+	if math.IsNaN(upc) || upc < 0 {
+		upc = 0
+	}
+	a := m.cfg.ActivityMin + m.cfg.ActivitySlope*upc
+	if a > m.cfg.ActivityMax {
+		a = m.cfg.ActivityMax
+	}
+	return a
+}
+
+// Dynamic returns the dynamic power in watts.
+func (m *Model) Dynamic(voltageV, freqHz, upc float64) float64 {
+	return m.cfg.CeffF * m.Activity(upc) * voltageV * voltageV * freqHz
+}
+
+// Leakage returns the leakage power in watts at the given voltage.
+func (m *Model) Leakage(voltageV float64) float64 {
+	r := voltageV / m.cfg.VRefV
+	return m.cfg.LeakW * r * r * math.Exp(m.cfg.LeakAlpha*(voltageV-m.cfg.VRefV))
+}
+
+// Power returns the total CPU rail power in watts for the operating
+// conditions, at the leakage calibration temperature.
+func (m *Model) Power(voltageV, freqHz, upc float64) float64 {
+	return m.Dynamic(voltageV, freqHz, upc) + m.Leakage(voltageV) + m.cfg.BaseW
+}
+
+// LeakageAt returns the leakage power at a die temperature: leakage
+// current grows exponentially with temperature, the coupling that
+// makes hot chips hotter and gives thermal management a superlinear
+// energy payoff.
+func (m *Model) LeakageAt(voltageV, tempC float64) float64 {
+	scale := 1.0
+	if m.cfg.LeakTempCoeffPerC != 0 {
+		scale = math.Exp(m.cfg.LeakTempCoeffPerC * (tempC - m.cfg.LeakTempRefC))
+	}
+	return m.Leakage(voltageV) * scale
+}
+
+// PowerAt is Power with temperature-dependent leakage.
+func (m *Model) PowerAt(voltageV, freqHz, upc, tempC float64) float64 {
+	return m.Dynamic(voltageV, freqHz, upc) + m.LeakageAt(voltageV, tempC) + m.cfg.BaseW
+}
+
+// Energy returns the energy in joules dissipated over a duration at
+// constant operating conditions.
+func (m *Model) Energy(voltageV, freqHz, upc, seconds float64) float64 {
+	return m.Power(voltageV, freqHz, upc) * seconds
+}
+
+// Accumulator integrates energy and time over a run and derives the
+// summary power/performance metrics of the paper's Section 6.
+type Accumulator struct {
+	energyJ      float64
+	timeS        float64
+	instructions float64
+	samples      int
+}
+
+// ErrBadSample reports a non-physical accumulation input.
+var ErrBadSample = errors.New("power: sample time and energy must be non-negative and finite")
+
+// Add records one interval's energy, duration and retired instructions.
+func (a *Accumulator) Add(energyJ, seconds, instructions float64) error {
+	if energyJ < 0 || seconds < 0 || instructions < 0 ||
+		math.IsNaN(energyJ) || math.IsNaN(seconds) || math.IsNaN(instructions) ||
+		math.IsInf(energyJ, 0) || math.IsInf(seconds, 0) || math.IsInf(instructions, 0) {
+		return fmt.Errorf("%w: E=%v t=%v n=%v", ErrBadSample, energyJ, seconds, instructions)
+	}
+	a.energyJ += energyJ
+	a.timeS += seconds
+	a.instructions += instructions
+	a.samples++
+	return nil
+}
+
+// EnergyJ returns the total energy in joules.
+func (a *Accumulator) EnergyJ() float64 { return a.energyJ }
+
+// TimeS returns the total time in seconds.
+func (a *Accumulator) TimeS() float64 { return a.timeS }
+
+// Instructions returns the total retired instruction count.
+func (a *Accumulator) Instructions() float64 { return a.instructions }
+
+// Samples returns how many intervals were accumulated.
+func (a *Accumulator) Samples() int { return a.samples }
+
+// AvgPowerW returns the time-averaged power in watts.
+func (a *Accumulator) AvgPowerW() float64 {
+	if a.timeS <= 0 {
+		return 0
+	}
+	return a.energyJ / a.timeS
+}
+
+// BIPS returns billions of instructions per second over the run.
+func (a *Accumulator) BIPS() float64 {
+	if a.timeS <= 0 {
+		return 0
+	}
+	return a.instructions / a.timeS / 1e9
+}
+
+// EDP returns the energy-delay product (joule-seconds) over the run —
+// the paper's figure of merit.
+func (a *Accumulator) EDP() float64 { return a.energyJ * a.timeS }
+
+// Reset clears the accumulator.
+func (a *Accumulator) Reset() { *a = Accumulator{} }
+
+// EDPImprovement returns the fractional EDP improvement of a managed
+// run over a baseline run: 1 − EDP_managed/EDP_baseline. Positive is
+// better; it matches the paper's "EDP improvement" percentages.
+func EDPImprovement(baseline, managed *Accumulator) float64 {
+	b := baseline.EDP()
+	if b <= 0 {
+		return 0
+	}
+	return 1 - managed.EDP()/b
+}
+
+// PerformanceDegradation returns the fractional slowdown of a managed
+// run over a baseline run: T_managed/T_baseline − 1.
+func PerformanceDegradation(baseline, managed *Accumulator) float64 {
+	b := baseline.TimeS()
+	if b <= 0 {
+		return 0
+	}
+	return managed.TimeS()/b - 1
+}
+
+// PowerSavings returns the fractional average-power reduction of a
+// managed run relative to a baseline run.
+func PowerSavings(baseline, managed *Accumulator) float64 {
+	b := baseline.AvgPowerW()
+	if b <= 0 {
+		return 0
+	}
+	return 1 - managed.AvgPowerW()/b
+}
+
+// EnergySavings returns the fractional energy reduction of a managed
+// run relative to a baseline run.
+func EnergySavings(baseline, managed *Accumulator) float64 {
+	b := baseline.EnergyJ()
+	if b <= 0 {
+		return 0
+	}
+	return 1 - managed.EnergyJ()/b
+}

@@ -1,0 +1,51 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerAtReferenceTemperatureMatchesPower(t *testing.T) {
+	m := Default()
+	ref := m.Config().LeakTempRefC
+	if got, want := m.PowerAt(1.484, 1.5e9, 1.0, ref), m.Power(1.484, 1.5e9, 1.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PowerAt(ref temp) = %v, Power = %v", got, want)
+	}
+}
+
+func TestLeakageDoublesPerCalibratedInterval(t *testing.T) {
+	m := Default()
+	ref := m.Config().LeakTempRefC
+	base := m.LeakageAt(1.484, ref)
+	hot := m.LeakageAt(1.484, ref+25)
+	if math.Abs(hot/base-2) > 1e-9 {
+		t.Errorf("leakage ratio over +25°C = %v, want 2", hot/base)
+	}
+	cold := m.LeakageAt(1.484, ref-25)
+	if math.Abs(cold/base-0.5) > 1e-9 {
+		t.Errorf("leakage ratio over -25°C = %v, want 0.5", cold/base)
+	}
+}
+
+func TestZeroCoefficientDisablesCoupling(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LeakTempCoeffPerC = 0
+	m := MustNew(cfg)
+	for _, temp := range []float64{0, 55, 110} {
+		if got, want := m.PowerAt(1.2, 1e9, 0.8, temp), m.Power(1.2, 1e9, 0.8); got != want {
+			t.Errorf("at %v°C: PowerAt = %v, Power = %v", temp, got, want)
+		}
+	}
+}
+
+func TestPowerAtMonotoneInTemperature(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for temp := 20.0; temp <= 100; temp += 5 {
+		p := m.PowerAt(1.484, 1.5e9, 1.0, temp)
+		if p <= prev {
+			t.Fatalf("power not increasing at %v°C", temp)
+		}
+		prev = p
+	}
+}

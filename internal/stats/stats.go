@@ -1,0 +1,257 @@
+// Package stats provides the workload-characterization and
+// prediction-quality metrics used throughout the paper's evaluation:
+// sample variation (Figure 3's y axis), power-savings potential
+// (Figure 3's x axis), quadrant categorization, and prediction
+// accuracy tallies.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"phasemon/internal/phase"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min returns the smallest element; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Variation returns the fraction (0..1) of adjacent sample pairs whose
+// absolute difference exceeds threshold. With Mem/Uop samples at the
+// paper's 100M-instruction granularity and threshold 0.005, this is
+// exactly Figure 3's "sample variation" — the measure of how unstable
+// a benchmark is.
+func Variation(xs []float64, threshold float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	n := 0
+	for i := 1; i < len(xs); i++ {
+		if math.Abs(xs[i]-xs[i-1]) > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs)-1)
+}
+
+// Quadrant is Figure 3's benchmark categorization.
+type Quadrant int
+
+// The four quadrants of the variability × savings-potential plane.
+const (
+	// Q1: stable, little power-saving opportunity (most of SPEC).
+	Q1 Quadrant = 1
+	// Q2: stable, high saving potential (swim, mcf).
+	Q2 Quadrant = 2
+	// Q3: variable and high saving potential (applu, equake, ...).
+	Q3 Quadrant = 3
+	// Q4: variable, low saving potential.
+	Q4 Quadrant = 4
+)
+
+// String returns "Q1".."Q4".
+func (q Quadrant) String() string {
+	if q < Q1 || q > Q4 {
+		return fmt.Sprintf("Q(%d)", int(q))
+	}
+	return fmt.Sprintf("Q%d", int(q))
+}
+
+// DefaultVariationSplit and DefaultSavingsSplit are the quadrant
+// boundaries read off the paper's Figure 3: a benchmark is "variable"
+// when more than ~18% of its samples move by >0.005 Mem/Uop (the split
+// separating the "last 6" variable benchmarks from the rest), and has
+// savings potential when its average Mem/Uop exceeds ~0.008 (i.e. it
+// spends real time beyond phase 2).
+const (
+	DefaultVariationSplit = 0.18
+	DefaultSavingsSplit   = 0.008
+)
+
+// Classify places a benchmark in a Figure 3 quadrant from its average
+// Mem/Uop (savings potential) and sample variation fraction.
+func Classify(avgMemPerUop, variation, savingsSplit, variationSplit float64) Quadrant {
+	variable := variation > variationSplit
+	savings := avgMemPerUop > savingsSplit
+	switch {
+	case !variable && !savings:
+		return Q1
+	case !variable && savings:
+		return Q2
+	case variable && savings:
+		return Q3
+	default:
+		return Q4
+	}
+}
+
+// Tally accumulates prediction outcomes.
+type Tally struct {
+	total   int
+	correct int
+}
+
+// ErrNoPredictions reports an empty tally where a rate was required.
+var ErrNoPredictions = errors.New("stats: no predictions tallied")
+
+// Record adds one prediction outcome.
+func (t *Tally) Record(predicted, actual phase.ID) {
+	t.total++
+	if predicted == actual {
+		t.correct++
+	}
+}
+
+// Total returns how many predictions were tallied.
+func (t Tally) Total() int { return t.total }
+
+// Correct returns how many predictions were correct.
+func (t Tally) Correct() int { return t.correct }
+
+// Accuracy returns the fraction of correct predictions in 0..1.
+func (t Tally) Accuracy() (float64, error) {
+	if t.total == 0 {
+		return 0, ErrNoPredictions
+	}
+	return float64(t.correct) / float64(t.total), nil
+}
+
+// MispredictionRate returns 1 − accuracy.
+func (t Tally) MispredictionRate() (float64, error) {
+	a, err := t.Accuracy()
+	if err != nil {
+		return 0, err
+	}
+	return 1 - a, nil
+}
+
+// Reset clears the tally.
+func (t *Tally) Reset() { *t = Tally{} }
+
+// MispredictionReduction returns how many times fewer mispredictions
+// "better" makes than "worse" (the paper's "6X fewer mispredictions"
+// comparisons). It returns +Inf when better is perfect and worse is
+// not, and 1 when both are perfect.
+func MispredictionReduction(worse, better *Tally) (float64, error) {
+	mw, err := worse.MispredictionRate()
+	if err != nil {
+		return 0, err
+	}
+	mb, err := better.MispredictionRate()
+	if err != nil {
+		return 0, err
+	}
+	if mb == 0 {
+		if mw == 0 {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	return mw / mb, nil
+}
+
+// Confusion is a per-phase breakdown of predictions: rows are actual
+// phases, columns predicted phases. It diagnoses which transitions a
+// predictor gets wrong.
+type Confusion struct {
+	n      int
+	counts [][]int
+}
+
+// NewConfusion builds a matrix for a classifier with n phases.
+func NewConfusion(n int) (*Confusion, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: confusion needs at least 1 phase, got %d", n)
+	}
+	c := &Confusion{n: n, counts: make([][]int, n+1)}
+	for i := range c.counts {
+		c.counts[i] = make([]int, n+1)
+	}
+	return c, nil
+}
+
+// Record adds one outcome. Out-of-range IDs (including None) land in
+// index 0.
+func (c *Confusion) Record(predicted, actual phase.ID) {
+	c.counts[c.clamp(actual)][c.clamp(predicted)]++
+}
+
+func (c *Confusion) clamp(id phase.ID) int {
+	if !id.Valid(c.n) {
+		return 0
+	}
+	return int(id)
+}
+
+// Count returns how often "actual" was predicted as "predicted".
+func (c *Confusion) Count(predicted, actual phase.ID) int {
+	return c.counts[c.clamp(actual)][c.clamp(predicted)]
+}
+
+// PerPhaseAccuracy returns the accuracy for intervals whose actual
+// phase was id, and whether any such interval occurred.
+func (c *Confusion) PerPhaseAccuracy(id phase.ID) (float64, bool) {
+	row := c.counts[c.clamp(id)]
+	total := 0
+	for _, v := range row {
+		total += v
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return float64(row[c.clamp(id)]) / float64(total), true
+}
+
+// GeoMean returns the geometric mean of xs — the conventional
+// aggregate for normalized (ratio) metrics like Figure 11's
+// BIPS/power/EDP columns. All inputs must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: GeoMean of empty slice")
+	}
+	var logSum float64
+	for _, x := range xs {
+		if !(x > 0) {
+			return 0, fmt.Errorf("stats: GeoMean requires positive values, got %v", x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"phasemon/internal/phase"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{"Min": Min, "Max": Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(empty) did not panic", name)
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+func TestVariation(t *testing.T) {
+	cases := []struct {
+		xs        []float64
+		threshold float64
+		want      float64
+	}{
+		{nil, 0.005, 0},
+		{[]float64{1}, 0.005, 0},
+		{[]float64{0.01, 0.01, 0.01}, 0.005, 0},
+		{[]float64{0.00, 0.01, 0.00}, 0.005, 1},
+		{[]float64{0.00, 0.01, 0.011, 0.02}, 0.005, 2.0 / 3},
+		// Exactly at the threshold does not count as a change.
+		{[]float64{0, 0.005}, 0.005, 0},
+	}
+	for _, c := range cases {
+		if got := Variation(c.xs, c.threshold); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Variation(%v, %v) = %v, want %v", c.xs, c.threshold, got, c.want)
+		}
+	}
+}
+
+func TestVariationBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		v := Variation(xs, 0.005)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyQuadrants(t *testing.T) {
+	cases := []struct {
+		mem, vari float64
+		want      Quadrant
+	}{
+		{0.001, 0.01, Q1}, // stable, CPU bound: most of SPEC
+		{0.110, 0.05, Q2}, // mcf: memory bound, stable
+		{0.021, 0.40, Q3}, // applu: variable, memory bound
+		{0.006, 0.30, Q4}, // variable but little to save
+	}
+	for _, c := range cases {
+		got := Classify(c.mem, c.vari, DefaultSavingsSplit, DefaultVariationSplit)
+		if got != c.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", c.mem, c.vari, got, c.want)
+		}
+	}
+}
+
+func TestQuadrantString(t *testing.T) {
+	if Q3.String() != "Q3" {
+		t.Errorf("Q3.String() = %q", Q3.String())
+	}
+	if Quadrant(9).String() != "Q(9)" {
+		t.Errorf("Quadrant(9).String() = %q", Quadrant(9).String())
+	}
+}
+
+func TestTally(t *testing.T) {
+	var ta Tally
+	if _, err := ta.Accuracy(); err == nil {
+		t.Error("empty tally should error")
+	}
+	if _, err := ta.MispredictionRate(); err == nil {
+		t.Error("empty tally should error")
+	}
+	ta.Record(1, 1)
+	ta.Record(2, 1)
+	ta.Record(3, 3)
+	ta.Record(4, 4)
+	if ta.Total() != 4 || ta.Correct() != 3 {
+		t.Errorf("tally = %d/%d", ta.Correct(), ta.Total())
+	}
+	a, err := ta.Accuracy()
+	if err != nil || math.Abs(a-0.75) > 1e-12 {
+		t.Errorf("Accuracy = %v, %v", a, err)
+	}
+	m, err := ta.MispredictionRate()
+	if err != nil || math.Abs(m-0.25) > 1e-12 {
+		t.Errorf("MispredictionRate = %v, %v", m, err)
+	}
+	ta.Reset()
+	if ta.Total() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestMispredictionReduction(t *testing.T) {
+	mk := func(correct, total int) *Tally {
+		var ta Tally
+		for i := 0; i < total; i++ {
+			if i < correct {
+				ta.Record(1, 1)
+			} else {
+				ta.Record(2, 1)
+			}
+		}
+		return &ta
+	}
+	// 50% wrong vs 10% wrong: 5x reduction.
+	r, err := MispredictionReduction(mk(50, 100), mk(90, 100))
+	if err != nil || math.Abs(r-5) > 1e-12 {
+		t.Errorf("reduction = %v, %v", r, err)
+	}
+	// Perfect better predictor: +Inf.
+	r, err = MispredictionReduction(mk(50, 100), mk(100, 100))
+	if err != nil || !math.IsInf(r, 1) {
+		t.Errorf("reduction vs perfect = %v, %v", r, err)
+	}
+	// Both perfect: 1.
+	r, err = MispredictionReduction(mk(10, 10), mk(10, 10))
+	if err != nil || r != 1 {
+		t.Errorf("both perfect = %v, %v", r, err)
+	}
+	var empty Tally
+	if _, err := MispredictionReduction(&empty, mk(1, 1)); err == nil {
+		t.Error("empty worse tally should error")
+	}
+	if _, err := MispredictionReduction(mk(1, 1), &empty); err == nil {
+		t.Error("empty better tally should error")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c, err := NewConfusion(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(1, 1)
+	c.Record(1, 1)
+	c.Record(2, 1) // actual 1 predicted as 2
+	c.Record(6, 6)
+	c.Record(phase.None, 3) // unpredicted interval
+	if got := c.Count(1, 1); got != 2 {
+		t.Errorf("Count(1,1) = %d", got)
+	}
+	if got := c.Count(2, 1); got != 1 {
+		t.Errorf("Count(2,1) = %d", got)
+	}
+	a, ok := c.PerPhaseAccuracy(1)
+	if !ok || math.Abs(a-2.0/3) > 1e-12 {
+		t.Errorf("PerPhaseAccuracy(1) = %v, %v", a, ok)
+	}
+	if _, ok := c.PerPhaseAccuracy(4); ok {
+		t.Error("PerPhaseAccuracy of unseen phase should report !ok")
+	}
+	a, ok = c.PerPhaseAccuracy(3)
+	if !ok || a != 0 {
+		t.Errorf("PerPhaseAccuracy(3) = %v, %v (None prediction must count as wrong)", a, ok)
+	}
+	if _, err := NewConfusion(0); err == nil {
+		t.Error("NewConfusion(0) should fail")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, %v", got, err)
+	}
+	got, err = GeoMean([]float64{0.5, 0.5, 0.5})
+	if err != nil || math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("GeoMean(0.5 x3) = %v, %v", got, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("zero accepted")
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Error("negative accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{ResistanceKPerW: 0, CapacitanceJPerK: 1},
+		{ResistanceKPerW: -1, CapacitanceJPerK: 1},
+		{ResistanceKPerW: 1, CapacitanceJPerK: 0},
+		{ResistanceKPerW: 1, CapacitanceJPerK: 1, AmbientC: math.NaN()},
+		{ResistanceKPerW: 1, CapacitanceJPerK: 1, InitialC: math.Inf(1)},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStartsAtAmbient(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TemperatureC() != DefaultConfig().AmbientC {
+		t.Errorf("initial temperature %v, want ambient", m.TemperatureC())
+	}
+	cfg := DefaultConfig()
+	cfg.InitialC = 60
+	m, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TemperatureC() != 60 {
+		t.Errorf("initial temperature %v, want 60", m.TemperatureC())
+	}
+}
+
+func TestConvergesToSteadyState(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 10.0
+	want := m.SteadyStateC(p) // 35 + 10*2 = 55
+	if math.Abs(want-55) > 1e-9 {
+		t.Fatalf("steady state %v, want 55", want)
+	}
+	// Integrate 60 s in 100 ms steps: >> 5s time constant.
+	for i := 0; i < 600; i++ {
+		m.Advance(p, 0.1)
+	}
+	if math.Abs(m.TemperatureC()-want) > 0.1 {
+		t.Errorf("temperature %v did not converge to %v", m.TemperatureC(), want)
+	}
+	if m.PeakC() < m.TemperatureC()-1e-9 {
+		t.Errorf("peak %v below current %v", m.PeakC(), m.TemperatureC())
+	}
+}
+
+func TestCoolsWhenPowerDrops(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		m.Advance(10, 0.1)
+	}
+	hot := m.TemperatureC()
+	for i := 0; i < 600; i++ {
+		m.Advance(2, 0.1)
+	}
+	cool := m.TemperatureC()
+	if !(cool < hot) {
+		t.Errorf("did not cool: %v -> %v", hot, cool)
+	}
+	if math.Abs(cool-m.SteadyStateC(2)) > 0.1 {
+		t.Errorf("cool temperature %v, want %v", cool, m.SteadyStateC(2))
+	}
+	// Peak remembers the hot phase.
+	if math.Abs(m.PeakC()-hot) > 1e-9 {
+		t.Errorf("peak %v, want %v", m.PeakC(), hot)
+	}
+}
+
+func TestStepSizeIndependence(t *testing.T) {
+	// The exponential integrator must give the same result whether a
+	// window is integrated in one step or in many.
+	a, _ := New(DefaultConfig())
+	b, _ := New(DefaultConfig())
+	a.Advance(8, 10)
+	for i := 0; i < 1000; i++ {
+		b.Advance(8, 0.01)
+	}
+	if math.Abs(a.TemperatureC()-b.TemperatureC()) > 1e-6 {
+		t.Errorf("step-size dependence: %v vs %v", a.TemperatureC(), b.TemperatureC())
+	}
+}
+
+func TestAdvanceIgnoresDegenerateInput(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	t0 := m.TemperatureC()
+	m.Advance(10, 0)
+	m.Advance(10, -1)
+	m.Advance(math.NaN(), 1)
+	if m.TemperatureC() != t0 {
+		t.Errorf("degenerate advances changed temperature")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	m.Advance(20, 100)
+	m.Reset()
+	if m.TemperatureC() != DefaultConfig().AmbientC || m.PeakC() != DefaultConfig().AmbientC {
+		t.Error("Reset incomplete")
+	}
+}

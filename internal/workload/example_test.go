@@ -1,0 +1,53 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"phasemon/internal/memhier"
+	"phasemon/internal/workload"
+)
+
+// Instantiating a paper benchmark and inspecting its stream.
+func ExampleProfile_Generator() {
+	prof, err := workload.ByName("applu_in")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	gen := prof.Generator(workload.Params{Seed: 1, Intervals: 3})
+	for {
+		w, ok := gen.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("interval: %.0fM uops, Mem/Uop %.4f\n", w.Uops/1e6, w.MemPerUop)
+	}
+	// Output:
+	// interval: 100M uops, Mem/Uop 0.0239
+	// interval: 100M uops, Mem/Uop 0.0242
+	// interval: 100M uops, Mem/Uop 0.0081
+}
+
+// Describing a program by its working sets instead of counter values:
+// the memory hierarchy derives the phase metric.
+func ExampleFromLocality() {
+	hier := memhier.Default()
+	gen, err := workload.FromLocality("ws", hier, []workload.LocalityPhase{
+		{Profile: memhier.AccessProfile{AccessesPerUop: 0.35, WorkingSetBytes: 16 << 10}, Intervals: 1, CoreUPC: 1.5},
+		{Profile: memhier.AccessProfile{AccessesPerUop: 0.35, WorkingSetBytes: 64 << 20, SpatialRun: 4}, Intervals: 1, CoreUPC: 0.8},
+	}, 100e6, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for {
+		w, ok := gen.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("Mem/Uop %.4f\n", w.MemPerUop)
+	}
+	// Output:
+	// Mem/Uop 0.0001
+	// Mem/Uop 0.0861
+}

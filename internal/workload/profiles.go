@@ -1,0 +1,436 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"phasemon/internal/stats"
+)
+
+// Profile describes one of the paper's SPEC CPU2000 benchmark/input
+// pairs as a synthetic workload specification.
+type Profile struct {
+	// Name is the paper's benchmark_input label (e.g. "applu_in").
+	Name string
+	// Quadrant is the paper's Figure 3 categorization.
+	Quadrant stats.Quadrant
+	// DefaultIntervals is the benchmark's run length in sampling
+	// intervals (100M uops each by default), standing in for the
+	// benchmark's full execution.
+	DefaultIntervals int
+	// CoreUPCMax is the compute-side UPC the benchmark sustains in its
+	// least memory-bound regions.
+	CoreUPCMax float64
+	// MLP is the benchmark's effective memory-level parallelism
+	// (values below 1 model serialized, queue-bound access streams).
+	MLP float64
+	// UopsPerInstr is the uop expansion ratio of the benchmark's
+	// instruction mix.
+	UopsPerInstr float64
+	// Description documents what program behavior the synthetic recipe
+	// stands in for and which calibration targets it was tuned to.
+	Description string
+	// recipe builds the benchmark's Mem/Uop behavior over time.
+	recipe recipe
+}
+
+// Phase-representative Mem/Uop levels used by the synthetic motifs,
+// chosen inside the paper's Table 1 bins.
+const (
+	memP1 = 0.0030 // phase 1: < 0.005
+	memP2 = 0.0075 // phase 2: [0.005, 0.010)
+	memP3 = 0.0125 // phase 3: [0.010, 0.015)
+	memP4 = 0.0180 // phase 4: [0.015, 0.020)
+	memP5 = 0.0240 // phase 5: [0.020, 0.030)
+	memP6 = 0.0330 // phase 6: > 0.030
+)
+
+// profiles is the registry, in the paper's Figure 4 order (decreasing
+// last-value prediction accuracy).
+var profiles = []*Profile{
+	// --- Very stable, CPU-bound Q1 applications. ---
+	{
+		Name: "crafty_in", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.8, MLP: 1.5, UopsPerInstr: 1.12,
+		Description: "Chess search: tight compute loops over in-cache board state. Flat phase 1; every predictor is near-perfect.",
+		recipe:      steady(0.0008, 0.0002),
+	},
+	{
+		Name: "eon_cook", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.7, MLP: 1.5, UopsPerInstr: 1.20,
+		Description: "Ray tracer (cook view): arithmetic-dense shading with tiny footprints. The most CPU-bound profile of the suite.",
+		recipe:      steady(0.0003, 0.0001),
+	},
+	{
+		Name: "eon_kajiya", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.7, MLP: 1.5, UopsPerInstr: 1.20,
+		Description: "Ray tracer (kajiya view): as eon_cook with marginally more scene traffic.",
+		recipe:      steady(0.0004, 0.0001),
+	},
+	{
+		Name: "eon_rushmeier", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.7, MLP: 1.5, UopsPerInstr: 1.20,
+		Description: "Ray tracer (rushmeier view): as eon_cook with the largest of eon's still-negligible memory rates.",
+		recipe:      steady(0.0006, 0.0002),
+	},
+	{
+		Name: "mesa_ref", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.6, MLP: 1.5, UopsPerInstr: 1.15,
+		Description: "Software OpenGL rasterizer: steady pixel pipeline, small constant memory rate.",
+		recipe:      steady(0.0015, 0.0003),
+	},
+	{
+		Name: "vortex_lendian2", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.3, MLP: 1.5, UopsPerInstr: 1.10,
+		Description: "Object database, workload 2: steady lookups with rare multi-interval commit bursts (aperiodic, unlearnable).",
+		recipe:      bursts(0.0025, 0.0062, 70, 2, 0.0004),
+	},
+	{
+		Name: "sixtrack_in", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.9, MLP: 1.5, UopsPerInstr: 1.25,
+		Description: "Particle tracking: vectorizable arithmetic, essentially no bus traffic.",
+		recipe:      steady(0.0005, 0.0001),
+	},
+	{
+		// swim: flat but strongly memory-bound — the paper's canonical
+		// "trivial" Q2 benchmark with >60% EDP improvement.
+		Name: "swim_in", Quadrant: stats.Q2, DefaultIntervals: 3000,
+		CoreUPCMax: 1.0, MLP: 0.4, UopsPerInstr: 1.05,
+		Description: "Shallow-water stencil: flat, strongly memory-bound streaming (phase 5). The paper's trivial Q2 case with >60% EDP gains.",
+		recipe:      steady(0.0255, 0.0008),
+	},
+	{
+		Name: "vortex_lendian1", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.3, MLP: 1.5, UopsPerInstr: 1.10,
+		Description: "Object database, workload 1: as lendian2 with a different commit cadence.",
+		recipe:      bursts(0.0022, 0.0065, 55, 2, 0.0004),
+	},
+	{
+		Name: "twolf_ref", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.0, MLP: 1.3, UopsPerInstr: 1.10,
+		Description: "Place-and-route annealing: mostly in-cache with irregular net-rip-up excursions crossing the phase 1/2 boundary.",
+		recipe:      bursts(0.0035, 0.0095, 26, 2, 0.0004),
+	},
+	{
+		Name: "vortex_lendian3", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.3, MLP: 1.5, UopsPerInstr: 1.10,
+		Description: "Object database, workload 3: the burstiest of the vortex inputs.",
+		recipe:      bursts(0.0025, 0.0068, 45, 2, 0.0004),
+	},
+	// --- gzip: long steady stretches with short dictionary-reset
+	// excursions; the excursion cadence differs per input. ---
+	{
+		Name: "gzip_program", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.2, MLP: 1.5, UopsPerInstr: 1.10,
+		Description: "Deflate over program binaries: long in-cache stretches with two-interval dictionary-reset excursions every ~28 intervals.",
+		recipe:      cycle(gzipMotif(28), 0.0004, 0.01),
+	},
+	{
+		Name: "gzip_graphic", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.2, MLP: 1.5, UopsPerInstr: 1.10,
+		Description: "Deflate over image data: slightly denser reset cadence than gzip_program.",
+		recipe:      cycle(gzipMotif(26), 0.0004, 0.01),
+	},
+	{
+		Name: "gzip_random", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.2, MLP: 1.5, UopsPerInstr: 1.10,
+		Description: "Deflate over incompressible data: resets arrive faster (less useful dictionary).",
+		recipe:      cycle(gzipMotif(24), 0.0004, 0.012),
+	},
+	{
+		Name: "gzip_source", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.2, MLP: 1.5, UopsPerInstr: 1.10,
+		Description: "Deflate over source text: reset cadence between program and log inputs.",
+		recipe:      cycle(gzipMotif(22), 0.0004, 0.012),
+	},
+	{
+		Name: "gzip_log", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.2, MLP: 1.5, UopsPerInstr: 1.10,
+		Description: "Deflate over log text: the shortest stretch length of the gzip family.",
+		recipe:      cycle(gzipMotif(20), 0.0004, 0.015),
+	},
+	{
+		// mcf: extremely memory-bound with a short recurring phase dip —
+		// Q2 with the largest power-savings potential of the suite.
+		Name: "mcf_inp", Quadrant: stats.Q2, DefaultIntervals: 3000,
+		CoreUPCMax: 0.6, MLP: 0.45, UopsPerInstr: 1.05,
+		Description: "Network simplex on sparse graphs: pointer chasing with the suite's highest memory-boundedness (phase 6 plateau) and a short recurring pivot dip. Q2: massive savings, little variability.",
+		recipe:      cycle(mcfMotif(), 0.0010, 0.005),
+	},
+	// --- gcc-style irregular drifters. ---
+	{
+		Name: "gcc_200", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.1, MLP: 1.4, UopsPerInstr: 1.15,
+		Description: "Compiler on the 200.i input: per-function optimization passes appear as fixed two-interval memory excursions at memoryless arrivals.",
+		recipe:      burstsFixed(0.0025, 0.0075, 16, 2, 0.0004),
+	},
+	{
+		Name: "gcc_scilab", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.1, MLP: 1.4, UopsPerInstr: 1.15,
+		Description: "Compiler on scilab.i: denser function cadence than 200.i.",
+		recipe:      burstsFixed(0.0028, 0.0078, 13, 2, 0.0004),
+	},
+	{
+		Name: "wupwise_ref", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.3, MLP: 1.6, UopsPerInstr: 1.18,
+		Description: "Lattice QCD solver: slow square-wave alternation between compute sweeps and boundary exchanges. Dwell exceeds the GPHR depth, so GPHT ties last-value here.",
+		recipe:      square(0.0040, 0.0075, 12, 4, 0.0004),
+	},
+	{
+		Name: "gap_ref", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.0, MLP: 1.4, UopsPerInstr: 1.10,
+		Description: "Group-theory interpreter: a steady level sitting close under the phase 1/2 boundary; classification jitter that no history can learn.",
+		recipe:      steady(0.0040, 0.0008),
+	},
+	{
+		Name: "gcc_integrate", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.1, MLP: 1.4, UopsPerInstr: 1.15,
+		Description: "Compiler on integrate.i: faster function cadence, slightly hotter baseline.",
+		recipe:      burstsFixed(0.0030, 0.0080, 11, 2, 0.0005),
+	},
+	{
+		Name: "gcc_expr", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.1, MLP: 1.4, UopsPerInstr: 1.15,
+		Description: "Compiler on expr.i: near gcc_integrate with a higher excursion level.",
+		recipe:      burstsFixed(0.0030, 0.0085, 10, 2, 0.0005),
+	},
+	{
+		Name: "ammp_in", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 0.9, MLP: 1.3, UopsPerInstr: 1.08,
+		Description: "Molecular dynamics: neighbor-list rebuilds alternate with force computation in a clean 10/5 square wave below the variation threshold.",
+		recipe:      square(0.0040, 0.0085, 10, 5, 0.0004),
+	},
+	{
+		Name: "gcc_166", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.1, MLP: 1.4, UopsPerInstr: 1.15,
+		Description: "Compiler on 166.i: the densest gcc cadence of the suite.",
+		recipe:      burstsFixed(0.0032, 0.0090, 10, 2, 0.0005),
+	},
+	{
+		Name: "parser_ref", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.0, MLP: 1.3, UopsPerInstr: 1.10,
+		Description: "Link-grammar parser: dictionary lookups as fixed-length bursts over a phase-1 baseline.",
+		recipe:      burstsFixed(0.0038, 0.0092, 14, 2, 0.0005),
+	},
+	{
+		Name: "apsi_ref", Quadrant: stats.Q1, DefaultIntervals: 3000,
+		CoreUPCMax: 1.2, MLP: 1.6, UopsPerInstr: 1.15,
+		Description: "Mesoscale weather code: 9/6 solver-sweep square wave across the phase 1/2 boundary; real savings potential despite Q1 stability.",
+		recipe:      square(0.0040, 0.0095, 9, 6, 0.0005),
+	},
+	// --- The paper's six variable benchmarks (Q3/Q4): statistical
+	// predictors collapse here, the GPHT does not. ---
+	{
+		Name: "bzip2_program", Quadrant: stats.Q4, DefaultIntervals: 3000,
+		CoreUPCMax: 1.1, MLP: 1.0, UopsPerInstr: 1.10,
+		Description: "Burrows-Wheeler compress on binaries: compress -> Huffman -> sort sections cycling every 13 intervals with disturbances. Q4: variable, modest savings.",
+		recipe:      cycle(bzip2Motif(6, 3, 2, 2), 0.0005, 0.02),
+	},
+	{
+		Name: "mgrid_in", Quadrant: stats.Q3, DefaultIntervals: 3000,
+		CoreUPCMax: 0.9, MLP: 0.8, UopsPerInstr: 1.12,
+		Description: "Multigrid V-cycles: a staircase through phases 2-4 plus smoother plateaus; Q3 with high power savings and muted EDP (paper's mgrid caveat).",
+		recipe: pieces(
+			piece{60, cycle(mgridMotif(), 0.0004, 0.02)},
+			piece{18, steady(0.0090, 0.0005)},
+		),
+	},
+	{
+		Name: "bzip2_source", Quadrant: stats.Q4, DefaultIntervals: 3000,
+		CoreUPCMax: 1.1, MLP: 1.0, UopsPerInstr: 1.10,
+		Description: "Burrows-Wheeler compress on source text: shorter sections than bzip2_program.",
+		recipe:      cycle(bzip2Motif(5, 3, 2, 2), 0.0005, 0.022),
+	},
+	{
+		Name: "bzip2_graphic", Quadrant: stats.Q4, DefaultIntervals: 3000,
+		CoreUPCMax: 1.1, MLP: 1.0, UopsPerInstr: 1.10,
+		Description: "Burrows-Wheeler compress on image data: shortest sections, most disturbed of the bzip2 family.",
+		recipe:      cycle(bzip2Motif(4, 3, 2, 2), 0.0006, 0.025),
+	},
+	{
+		// applu: the paper's running example — rapid recurrent phase
+		// alternation that defeats last-value prediction (>53%
+		// mispredictions) but not the GPHT (<8%).
+		Name: "applu_in", Quadrant: stats.Q3, DefaultIntervals: 3000,
+		CoreUPCMax: 1.0, MLP: 0.6, UopsPerInstr: 1.10,
+		Description: "SSOR CFD solver: the paper's running example. 68-interval 2/5/6 motif, ~46% adjacent-equal: last-value fails >53% while the GPHT learns it (<8% mispredictions, >6X reduction).",
+		recipe:      cycle(appluMotif(), 0.0006, 0.015),
+	},
+	{
+		Name: "equake_in", Quadrant: stats.Q3, DefaultIntervals: 3000,
+		CoreUPCMax: 1.0, MLP: 0.7, UopsPerInstr: 1.08,
+		Description: "Earthquake FEM: 76-interval 2/4/5 motif with the suite's lowest adjacent-equality (~36%) - the worst case for statistical predictors, peak EDP benefit from prediction.",
+		recipe:      cycle(equakeMotif(), 0.0006, 0.017),
+	},
+}
+
+// gzipMotif is a compression loop: a long phase-1 stretch of the given
+// length followed by a two-interval memory excursion.
+func gzipMotif(stretch int) []float64 {
+	m := make([]float64, 0, stretch+2)
+	for i := 0; i < stretch; i++ {
+		m = append(m, memP1)
+	}
+	return append(m, 0.0070, 0.0070)
+}
+
+// mcfMotif is a long phase-6 plateau with a short recurring dip —
+// rare enough that mcf stays on the stable side of the Figure 3
+// variability split.
+func mcfMotif() []float64 {
+	m := make([]float64, 0, 46)
+	for i := 0; i < 44; i++ {
+		m = append(m, 0.110)
+	}
+	return append(m, 0.050, 0.028)
+}
+
+// bzip2Motif alternates compress (phase 1), Huffman (phase 2) and
+// sort-heavy (phase 4) sections with the given dwell lengths. The
+// levels sit far enough apart that every section change registers as
+// sample variation, keeping bzip2 on the variable (Q4) side of
+// Figure 3.
+func bzip2Motif(a, b, c, d int) []float64 {
+	var m []float64
+	appendN := func(v float64, n int) {
+		for i := 0; i < n; i++ {
+			m = append(m, v)
+		}
+	}
+	appendN(0.0035, a)
+	appendN(0.0095, b)
+	appendN(0.0155, c)
+	appendN(0.0035, d)
+	return m
+}
+
+// mgridMotif is a multigrid V-cycle staircase.
+func mgridMotif() []float64 {
+	return []float64{
+		memP2, memP2, memP2,
+		0.0130, 0.0130,
+		0.0185, 0.0185,
+		0.0130, 0.0130,
+		memP2,
+	}
+}
+
+// memOf maps small phase numbers to representative Mem/Uop levels.
+func memOf(ph []int) []float64 {
+	m := make([]float64, len(ph))
+	for i, p := range ph {
+		switch p {
+		case 1:
+			m[i] = memP1
+		case 2:
+			m[i] = memP2
+		case 3:
+			m[i] = memP3
+		case 4:
+			m[i] = memP4
+		case 5:
+			m[i] = memP5
+		default:
+			m[i] = memP6
+		}
+	}
+	return m
+}
+
+// appluMotif is the rapid 2/5/6 alternation of the paper's Figure 2:
+// ~46% adjacent-equal phases (so last-value prediction fails more than
+// half the time) arranged in a 68-interval repeating pattern whose 68
+// distinct 8-deep contexts exceed a 64-entry PHT but fit comfortably
+// in 128 — the structure behind Figure 5's capacity cliff. Every
+// 8-context has a unique successor, so a large-enough GPHT learns the
+// pattern exactly; only the disturbance rate caps its accuracy.
+func appluMotif() []float64 {
+	return memOf([]int{
+		5, 5, 2, 2, 6, 2, 2, 5, 6, 6, 2, 2, 6, 6, 5, 5, 2,
+		2, 6, 6, 5, 5, 2, 5, 5, 6, 6, 2, 2, 6, 6, 2, 2, 5,
+		5, 2, 2, 6, 6, 5, 2, 2, 6, 5, 5, 6, 5, 2, 2, 6, 6,
+		2, 2, 6, 2, 2, 5, 5, 6, 6, 2, 2, 5, 5, 6, 6, 5, 5,
+	})
+}
+
+// equakeMotif mixes phases 2, 4 and 5 with only ~36% adjacent-equal
+// pairs — the worst case for statistical predictors in Figure 4 — in a
+// 76-interval pattern with 76 distinct 8-deep contexts.
+func equakeMotif() []float64 {
+	return memOf([]int{
+		2, 4, 2, 4, 4, 2, 2, 5, 2, 2, 5, 5, 4, 4, 5, 5, 4, 2, 2,
+		5, 4, 4, 5, 4, 4, 5, 4, 4, 5, 5, 4, 4, 5, 5, 2, 2, 4, 2,
+		2, 4, 4, 2, 2, 5, 2, 5, 2, 2, 5, 5, 2, 5, 2, 2, 5, 4, 4,
+		5, 5, 4, 5, 5, 2, 5, 5, 4, 5, 5, 2, 2, 4, 5, 4, 5, 5, 4,
+	})
+}
+
+// All returns every benchmark profile in the paper's Figure 4 order.
+// The returned slice is fresh but shares the profile structs; callers
+// must not mutate them.
+func All() []*Profile {
+	out := make([]*Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ByName looks up a profile.
+func ByName(name string) (*Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q (run `phasemon -list` for choices)", name)
+}
+
+// Names returns all benchmark names, sorted alphabetically.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Figure12Set returns the paper's Figure 12 benchmark list: the
+// variable Q3/Q4 applications plus the high-savings Q2 pair.
+func Figure12Set() []*Profile {
+	return mustSet(
+		"bzip2_program", "bzip2_source", "bzip2_graphic", "mgrid_in",
+		"applu_in", "equake_in", "swim_in", "mcf_inp",
+	)
+}
+
+// Figure5Set returns the 18 least-stable benchmarks whose GPHT
+// size-sensitivity the paper's Figure 5 plots.
+func Figure5Set() []*Profile {
+	return mustSet(
+		"gzip_log", "mcf_inp", "gcc_200", "gcc_scilab", "wupwise_ref",
+		"gap_ref", "gcc_integrate", "gcc_expr", "ammp_in", "gcc_166",
+		"parser_ref", "apsi_ref", "bzip2_program", "mgrid_in",
+		"bzip2_source", "bzip2_graphic", "applu_in", "equake_in",
+	)
+}
+
+// VariableSet returns the paper's "last 6" benchmarks: the Q3/Q4
+// applications where pattern-based prediction pays off.
+func VariableSet() []*Profile {
+	return mustSet(
+		"bzip2_program", "mgrid_in", "bzip2_source", "bzip2_graphic",
+		"applu_in", "equake_in",
+	)
+}
+
+func mustSet(names ...string) []*Profile {
+	out := make([]*Profile, len(names))
+	for i, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = p
+	}
+	return out
+}
