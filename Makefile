@@ -2,16 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments extensions csv clean
+.PHONY: all build test test-short check race bench experiments extensions csv clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+# The strict gate: vet plus the full suite under the race detector.
+# The telemetry hot paths are lock-free atomics shared with HTTP
+# readers, so -race is part of the default bar, not an extra.
+check:
 	$(GO) vet ./...
-	$(GO) test ./...
+	$(GO) test -race ./...
+
+test: check
 
 test-short:
 	$(GO) test -short ./...

@@ -8,14 +8,18 @@ import (
 	"phasemon/internal/cpufreq"
 	"phasemon/internal/perfevent"
 	"phasemon/internal/phase"
+	"phasemon/internal/telemetry"
 )
 
 // runLive is the real-hardware deployment: live counters in
 // (perf_event_open), live frequency settings out (cpufreq sysfs) —
 // the paper's complete loop in userspace. It needs counter access and
 // a writable `userspace` cpufreq governor; each missing capability is
-// reported plainly.
-func runLive(dur, period time.Duration, pid, depth, entries int) error {
+// reported plainly. Telemetry always observes the loop: a one-line
+// hub summary prints every telemetryEvery intervals (0 disables), and
+// telemetryAddr, when non-empty, additionally serves the hub over
+// HTTP for the duration of the run.
+func runLive(dur, period time.Duration, pid, depth, entries int, telemetryAddr string, telemetryEvery int) error {
 	if err := perfevent.Available(); err != nil {
 		return fmt.Errorf("live mode needs hardware counters: %w", err)
 	}
@@ -42,6 +46,16 @@ func runLive(dur, period time.Duration, pid, depth, entries int) error {
 	if err != nil {
 		return err
 	}
+	hub := telemetry.NewHub(cls.NumPhases())
+	mon.SetTelemetry(hub)
+	if telemetryAddr != "" {
+		bound, shutdown, err := hub.Serve(telemetryAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		defer shutdown()
+		fmt.Printf("telemetry: serving http://%s (/metrics, /snapshot, /events)\n", bound)
+	}
 
 	g, err := perfevent.Open(pid)
 	if err != nil {
@@ -59,10 +73,16 @@ func runLive(dur, period time.Duration, pid, depth, entries int) error {
 	fmt.Printf("live governing pid %d for %v over %d frequency settings\n", pid, dur, act.Len())
 	fmt.Println("interval  miss/instr   phase   next   setting[kHz]")
 	i := 0
+	lastSetting := -1
 	for s := range samples {
+		hub.RecordPMISample(i, s.MemPerUop, s.UPC)
 		actual, next := mon.Step(s)
 		setting := settingFor(next, cls.NumPhases(), act.Len())
 		applyErr := act.Set(setting)
+		if applyErr == nil && setting != lastSetting {
+			hub.RecordDVFSChange(i, lastSetting, setting)
+			lastSetting = setting
+		}
 		khz, _ := act.FrequencyKHz(setting)
 		status := ""
 		if applyErr != nil {
@@ -70,10 +90,14 @@ func runLive(dur, period time.Duration, pid, depth, entries int) error {
 		}
 		fmt.Printf("%8d  %10.5f   %-5s   %-5s  %11d%s\n", i, s.MemPerUop, actual, next, khz, status)
 		i++
+		if telemetryEvery > 0 && i%telemetryEvery == 0 {
+			fmt.Println("telemetry:", hub.Summary())
+		}
 	}
 	if acc, err := mon.Tally().Accuracy(); err == nil {
 		fmt.Printf("\nlive prediction accuracy over %d intervals: %.1f%%\n", i, acc*100)
 	}
+	fmt.Println("telemetry:", hub.Summary())
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"phasemon/internal/governor"
 	"phasemon/internal/machine"
 	"phasemon/internal/phase"
+	"phasemon/internal/telemetry"
 	"phasemon/internal/workload"
 )
 
@@ -37,31 +38,55 @@ func main() {
 		live      = flag.Duration("live", 0, "govern REAL hardware (perf_event_open + cpufreq) for this duration instead of the simulated platform")
 		livePid   = flag.Int("pid", 0, "process to monitor in -live mode (0 = this process)")
 		liveEvery = flag.Duration("period", 100*time.Millisecond, "sampling period in -live mode")
+		telAddr   = flag.String("telemetry-addr", "", "serve live telemetry over HTTP on this address during the run (/metrics, /snapshot, /events); e.g. 127.0.0.1:9100 or :0")
+		telEvery  = flag.Int("telemetry-every", 25, "in -live mode, print a one-line telemetry summary every N intervals (0 disables)")
 	)
 	flag.Parse()
 
 	if *live > 0 {
-		if err := runLive(*live, *liveEvery, *livePid, *depth, *entries); err != nil {
+		if err := runLive(*live, *liveEvery, *livePid, *depth, *entries, *telAddr, *telEvery); err != nil {
 			fmt.Fprintln(os.Stderr, "dvfsgov:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*bench, *policy, *depth, *entries, *intervals, *seed, *compare, *bound); err != nil {
+	if err := run(*bench, *policy, *depth, *entries, *intervals, *seed, *compare, *bound, *telAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsgov:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, policy string, depth, entries, intervals int, seed int64, compare bool, bound float64) error {
+// startTelemetry builds a hub and serves its HTTP endpoints when addr
+// is non-empty. It returns a nil hub (safe everywhere downstream) when
+// telemetry is disabled; the returned stop func is always callable.
+func startTelemetry(addr string, numPhases int) (*telemetry.Hub, func(), error) {
+	if addr == "" {
+		return nil, func() {}, nil
+	}
+	hub := telemetry.NewHub(numPhases)
+	bound, shutdown, err := hub.Serve(addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("telemetry: %w", err)
+	}
+	fmt.Printf("telemetry: serving http://%s (/metrics, /snapshot, /events)\n", bound)
+	return hub, shutdown, nil
+}
+
+func run(bench, policy string, depth, entries, intervals int, seed int64, compare bool, bound float64, telemetryAddr string) error {
 	prof, err := workload.ByName(bench)
 	if err != nil {
 		return err
 	}
 	gen := prof.Generator(workload.Params{Seed: seed, Intervals: intervals})
 
-	cfg := governor.Config{}
+	hub, stopTel, err := startTelemetry(telemetryAddr, phase.Default().NumPhases())
+	if err != nil {
+		return err
+	}
+	defer stopTel()
+
+	cfg := governor.Config{Telemetry: hub}
 	if bound > 0 {
 		model := cpusim.New(cpusim.DefaultConfig())
 		slow := func(mem, coreUPC, f, fmax float64) float64 {
@@ -118,6 +143,9 @@ func run(bench, policy string, depth, entries, intervals int, seed int64, compar
 			governor.PerformanceDegradation(base, r)*100,
 			governor.PowerSavings(base, r)*100,
 			acc)
+	}
+	if hub != nil {
+		fmt.Println("\ntelemetry:", hub.Summary())
 	}
 	return nil
 }

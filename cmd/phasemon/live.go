@@ -7,6 +7,7 @@ import (
 	"phasemon/internal/core"
 	"phasemon/internal/perfevent"
 	"phasemon/internal/phase"
+	"phasemon/internal/telemetry"
 )
 
 // runLive monitors real hardware counters through perf_event_open for
@@ -14,8 +15,9 @@ import (
 // paper's phases and predicting live — the paper's deployment mode, on
 // whatever machine this runs on. pid 0 monitors this process; withLoad
 // adds a synthetic memory-walking load so a bare invocation has
-// something to observe.
-func runLive(pred core.Predictor, dur, period time.Duration, pid int, withLoad bool) error {
+// something to observe. A non-nil hub observes every interval and is
+// typically served over HTTP for the duration of the run.
+func runLive(pred core.Predictor, dur, period time.Duration, pid int, withLoad bool, hub *telemetry.Hub) error {
 	if err := perfevent.Available(); err != nil {
 		return fmt.Errorf("live mode needs hardware counter access (try the simulated mode instead): %w", err)
 	}
@@ -29,6 +31,7 @@ func runLive(pred core.Predictor, dur, period time.Duration, pid int, withLoad b
 	if err != nil {
 		return err
 	}
+	mon.SetTelemetry(hub)
 
 	stop := make(chan struct{})
 	samples, err := g.Samples(stop, period)
@@ -49,12 +52,16 @@ func runLive(pred core.Predictor, dur, period time.Duration, pid int, withLoad b
 	fmt.Println("interval  miss/instr   phase   predicted-next")
 	i := 0
 	for s := range samples {
+		hub.RecordPMISample(i, s.MemPerUop, s.UPC)
 		actual, next := mon.Step(s)
 		fmt.Printf("%8d  %10.5f   %-5s   %s\n", i, s.MemPerUop, actual, next)
 		i++
 	}
 	if acc, err := mon.Tally().Accuracy(); err == nil {
 		fmt.Printf("\nlive prediction accuracy over %d intervals: %.1f%%\n", i, acc*100)
+	}
+	if hub != nil {
+		fmt.Println("telemetry:", hub.Summary())
 	}
 	return nil
 }

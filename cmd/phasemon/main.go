@@ -24,6 +24,7 @@ import (
 	"phasemon/internal/kernelsim"
 	"phasemon/internal/machine"
 	"phasemon/internal/phase"
+	"phasemon/internal/telemetry"
 	"phasemon/internal/workload"
 )
 
@@ -46,6 +47,7 @@ func main() {
 		liveLoad  = flag.Bool("liveload", true, "generate a synthetic phase-alternating load in -live self-monitoring mode")
 		phases    = flag.String("phases", "", "custom Mem/Uop phase boundaries, comma-separated (default: the paper's Table 1)")
 		analyze   = flag.Bool("analyze", false, "print stream-structure analysis (entropy, runs, predictability ceiling) after the run")
+		telAddr   = flag.String("telemetry-addr", "", "serve live telemetry over HTTP on this address during the run (/metrics, /snapshot, /events); e.g. 127.0.0.1:9100 or :0")
 	)
 	flag.Parse()
 
@@ -71,7 +73,13 @@ func main() {
 		var pred core.Predictor
 		pred, err = buildPredictor(*predictor, *depth, *entries, *window, *threshold, cls)
 		if err == nil {
-			err = runLive(pred, *live, *liveEvery, *livePid, *liveLoad && *livePid == 0)
+			var hub *telemetry.Hub
+			var stopTel func()
+			hub, stopTel, err = startTelemetry(*telAddr, cls.NumPhases())
+			if err == nil {
+				err = runLive(pred, *live, *liveEvery, *livePid, *liveLoad && *livePid == 0, hub)
+				stopTel()
+			}
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "phasemon:", err)
@@ -80,10 +88,26 @@ func main() {
 		return
 	}
 
-	if err := run(*bench, *predictor, *phases, *depth, *entries, *window, *threshold, *intervals, *seed, *csvPath, *analyze); err != nil {
+	if err := run(*bench, *predictor, *phases, *depth, *entries, *window, *threshold, *intervals, *seed, *csvPath, *analyze, *telAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "phasemon:", err)
 		os.Exit(1)
 	}
+}
+
+// startTelemetry builds a hub and serves its HTTP endpoints when addr
+// is non-empty. It returns a nil hub (safe everywhere downstream) when
+// telemetry is disabled; the returned stop func is always callable.
+func startTelemetry(addr string, numPhases int) (*telemetry.Hub, func(), error) {
+	if addr == "" {
+		return nil, func() {}, nil
+	}
+	hub := telemetry.NewHub(numPhases)
+	bound, shutdown, err := hub.Serve(addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("telemetry: %w", err)
+	}
+	fmt.Printf("telemetry: serving http://%s (/metrics, /snapshot, /events)\n", bound)
+	return hub, shutdown, nil
 }
 
 func buildPredictor(kind string, depth, entries, window int, threshold float64, cls phase.Classifier) (core.Predictor, error) {
@@ -109,7 +133,7 @@ func classifierFor(spec string) (*phase.Table, error) {
 	return phase.ParseTable("custom", spec)
 }
 
-func run(bench, predictor, phases string, depth, entries, window int, threshold float64, intervals int, seed int64, csvPath string, analyze bool) error {
+func run(bench, predictor, phases string, depth, entries, window int, threshold float64, intervals int, seed int64, csvPath string, analyze bool, telemetryAddr string) error {
 	prof, err := workload.ByName(bench)
 	if err != nil {
 		return err
@@ -126,7 +150,12 @@ func run(bench, predictor, phases string, depth, entries, window int, threshold 
 	if err != nil {
 		return err
 	}
-	mod, err := kernelsim.NewModule(kernelsim.Config{Monitor: mon})
+	hub, stopTel, err := startTelemetry(telemetryAddr, cls.NumPhases())
+	if err != nil {
+		return err
+	}
+	defer stopTel()
+	mod, err := kernelsim.NewModule(kernelsim.Config{Monitor: mon, Telemetry: hub})
 	if err != nil {
 		return err
 	}
@@ -151,6 +180,9 @@ func run(bench, predictor, phases string, depth, entries, window int, threshold 
 	fmt.Printf("prediction accuracy:  %.2f%%\n", acc*100)
 	fmt.Printf("handler overhead:     %.5f%% of run time, %d budget violations\n",
 		m.OverheadFraction()*100, mod.BudgetViolations())
+	if hub != nil {
+		fmt.Printf("telemetry:            %s\n", hub.Summary())
+	}
 
 	fmt.Println("\nper-phase accuracy:")
 	for p := 1; p <= cls.NumPhases(); p++ {

@@ -40,7 +40,7 @@ func TestBuildPredictor(t *testing.T) {
 
 func TestRunEndToEndWithCSV(t *testing.T) {
 	csvPath := filepath.Join(t.TempDir(), "trace.csv")
-	if err := run("applu_in", "gpht", "", 8, 128, 128, 0.005, 50, 1, csvPath, false); err != nil {
+	if err := run("applu_in", "gpht", "", 8, 128, 128, 0.005, 50, 1, csvPath, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(csvPath)
@@ -63,23 +63,23 @@ func TestRunEndToEndWithCSV(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("no_such", "gpht", "", 8, 128, 128, 0.005, 10, 1, "", false); err == nil {
+	if err := run("no_such", "gpht", "", 8, 128, 128, 0.005, 10, 1, "", false, ""); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run("applu_in", "bogus", "", 8, 128, 128, 0.005, 10, 1, "", false); err == nil {
+	if err := run("applu_in", "bogus", "", 8, 128, 128, 0.005, 10, 1, "", false, ""); err == nil {
 		t.Error("unknown predictor accepted")
 	}
-	if err := run("applu_in", "gpht", "not-a-number", 8, 128, 128, 0.005, 10, 1, "", false); err == nil {
+	if err := run("applu_in", "gpht", "not-a-number", 8, 128, 128, 0.005, 10, 1, "", false, ""); err == nil {
 		t.Error("malformed -phases accepted")
 	}
-	if err := run("applu_in", "gpht", "", 8, 128, 128, 0.005, 10, 1, "/nonexistent-dir/x.csv", false); err == nil {
+	if err := run("applu_in", "gpht", "", 8, 128, 128, 0.005, 10, 1, "/nonexistent-dir/x.csv", false, ""); err == nil {
 		t.Error("unwritable CSV path accepted")
 	}
-	if err := run("applu_in", "gpht", "", 8, 128, 128, 0.005, 10, 1, "", false); err != nil {
+	if err := run("applu_in", "gpht", "", 8, 128, 128, 0.005, 10, 1, "", false, ""); err != nil {
 		t.Errorf("plain run failed: %v", err)
 	}
 	// Custom phases + analysis path.
-	if err := run("applu_in", "gpht", "0.01,0.025", 8, 128, 128, 0.005, 60, 1, "", true); err != nil {
+	if err := run("applu_in", "gpht", "0.01,0.025", 8, 128, 128, 0.005, 60, 1, "", true, ""); err != nil {
 		t.Errorf("custom-phase analyzed run failed: %v", err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"phasemon/internal/phase"
+	"phasemon/internal/telemetry"
 )
 
 // GPHTConfig parameterizes the Global Phase History Table predictor.
@@ -86,6 +87,8 @@ type GPHT struct {
 	lastSlot int
 
 	hits, misses uint64
+
+	tel *telemetry.Hub
 }
 
 var _ Predictor = (*GPHT)(nil)
@@ -132,6 +135,10 @@ func (g *GPHT) Hits() uint64 { return g.hits }
 // Misses reports PHT lookup misses since the last Reset.
 func (g *GPHT) Misses() uint64 { return g.misses }
 
+// SetTelemetry attaches a telemetry hub; PHT lookup outcomes are then
+// mirrored into its hit/miss counters. Nil detaches.
+func (g *GPHT) SetTelemetry(h *telemetry.Hub) { g.tel = h }
+
 // Observe implements Predictor: it trains the previously consulted PHT
 // entry with the observed outcome, shifts the GPHR, and looks up the
 // new pattern.
@@ -176,6 +183,9 @@ func (g *GPHT) Observe(o Observation) phase.ID {
 	tag := g.packTag()
 	if slot, ok := g.index[tag]; ok {
 		g.hits++
+		if g.tel != nil {
+			g.tel.GPHTHits.Inc()
+		}
 		g.clock++
 		g.pht[slot].age = g.clock
 		g.lastSlot = slot
@@ -189,6 +199,9 @@ func (g *GPHT) Observe(o Observation) phase.ID {
 	// Miss: install the pattern (LRU victim) and fall back to
 	// last-value prediction.
 	g.misses++
+	if g.tel != nil {
+		g.tel.GPHTMisses.Inc()
+	}
 	slot := g.victim()
 	old := &g.pht[slot]
 	if old.valid {

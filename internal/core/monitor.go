@@ -6,6 +6,7 @@ import (
 	"phasemon/internal/cpusim"
 	"phasemon/internal/phase"
 	"phasemon/internal/stats"
+	"phasemon/internal/telemetry"
 )
 
 // Monitor binds phase classification and prediction into the sampling
@@ -18,9 +19,28 @@ type Monitor struct {
 	pred Predictor
 
 	lastPrediction phase.ID
+	lastActual     phase.ID
 	tally          stats.Tally
 	confusion      *stats.Confusion
 	steps          int
+
+	tel *telemetry.Hub
+}
+
+// telemetrySetter is implemented by predictors that can report into a
+// telemetry hub (the GPHT's hit/miss counters).
+type telemetrySetter interface {
+	SetTelemetry(*telemetry.Hub)
+}
+
+// SetTelemetry attaches a telemetry hub to the monitor (and to the
+// predictor, if it supports one). A nil hub detaches: unobserved runs
+// pay a single branch per Step.
+func (m *Monitor) SetTelemetry(h *telemetry.Hub) {
+	m.tel = h
+	if ts, ok := m.pred.(telemetrySetter); ok {
+		ts.SetTelemetry(h)
+	}
 }
 
 // NewMonitor builds a monitor around a classifier and predictor.
@@ -47,11 +67,29 @@ func (m *Monitor) Predictor() Predictor { return m.pred }
 // to predict it from).
 func (m *Monitor) Step(s phase.Sample) (actual, next phase.ID) {
 	actual = m.cls.Classify(s)
-	if m.steps > 0 {
+	scored := m.steps > 0
+	if scored {
 		m.tally.Record(m.lastPrediction, actual)
 		m.confusion.Record(m.lastPrediction, actual)
 	}
 	next = m.pred.Observe(Observation{Sample: s, Phase: actual})
+	if m.tel != nil {
+		m.tel.Steps.Inc()
+		m.tel.MemPerUop.Observe(s.MemPerUop)
+		if actual != m.lastActual {
+			m.tel.CurrentPhase.Set(float64(actual))
+		}
+		if next != m.lastPrediction {
+			m.tel.PredictedPhase.Set(float64(next))
+		}
+		if scored {
+			m.tel.RecordPrediction(m.steps, int(m.lastPrediction), int(actual))
+			if actual != m.lastActual {
+				m.tel.RecordPhaseTransition(m.steps, int(m.lastActual), int(actual))
+			}
+		}
+	}
+	m.lastActual = actual
 	m.lastPrediction = next
 	m.steps++
 	return actual, next
@@ -74,6 +112,7 @@ func (m *Monitor) Confusion() *stats.Confusion { return m.confusion }
 func (m *Monitor) Reset() {
 	m.pred.Reset()
 	m.lastPrediction = phase.None
+	m.lastActual = phase.None
 	m.tally.Reset()
 	m.confusion, _ = stats.NewConfusion(m.cls.NumPhases())
 	m.steps = 0

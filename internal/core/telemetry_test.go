@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"phasemon/internal/phase"
+	"phasemon/internal/telemetry"
+)
+
+func TestMonitorStepInstrumentation(t *testing.T) {
+	cls := phase.Default()
+	gpht := MustNewGPHT(GPHTConfig{GPHRDepth: 2, PHTEntries: 16, NumPhases: cls.NumPhases()})
+	mon, err := NewMonitor(cls, gpht)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := telemetry.NewHub(cls.NumPhases())
+	mon.SetTelemetry(hub)
+
+	// Phase 1 (Mem/Uop < 0.005), then phase 6 (> 0.030): one
+	// transition, one scored (mis)prediction.
+	mon.Step(phase.Sample{MemPerUop: 0.001, UPC: 1.5})
+	mon.Step(phase.Sample{MemPerUop: 0.050, UPC: 0.4})
+
+	if got := hub.Steps.Value(); got != 2 {
+		t.Errorf("steps counter = %d, want 2", got)
+	}
+	if got := hub.PhaseTransitions.Value(); got != 1 {
+		t.Errorf("phase transitions = %d, want 1", got)
+	}
+	if got := hub.Accuracy().Total; got != 1 {
+		t.Errorf("scored predictions = %d, want 1", got)
+	}
+	if got := hub.CurrentPhase.Value(); got != 6 {
+		t.Errorf("current phase gauge = %v, want 6", got)
+	}
+	if hub.GPHTHits.Value()+hub.GPHTMisses.Value() != 2 {
+		t.Errorf("GPHT lookups = %d hits + %d misses, want 2 total",
+			hub.GPHTHits.Value(), hub.GPHTMisses.Value())
+	}
+	if got := hub.MemPerUop.Snapshot().Count; got != 2 {
+		t.Errorf("Mem/Uop histogram count = %d, want 2", got)
+	}
+	// Journal saw the verdict and the transition.
+	events := hub.Journal.Recent(0)
+	kinds := map[telemetry.EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds[telemetry.KindPrediction] != 1 || kinds[telemetry.KindPhaseTransition] != 1 {
+		t.Errorf("journal kinds = %v", kinds)
+	}
+
+	// Telemetry must not change the monitor's own accounting.
+	if mon.Steps() != 2 || mon.Tally().Total() != 1 {
+		t.Errorf("monitor accounting disturbed: steps=%d tally=%d", mon.Steps(), mon.Tally().Total())
+	}
+
+	// Detaching stops the flow.
+	mon.SetTelemetry(nil)
+	mon.Step(phase.Sample{MemPerUop: 0.001, UPC: 1.5})
+	if got := hub.Steps.Value(); got != 2 {
+		t.Errorf("detached monitor still instruments: steps = %d", got)
+	}
+}
+
+func TestMonitorStepsMatchWithAndWithoutTelemetry(t *testing.T) {
+	cls := phase.Default()
+	mkMon := func(tel bool) *Monitor {
+		g := MustNewGPHT(GPHTConfig{GPHRDepth: 4, PHTEntries: 32, NumPhases: cls.NumPhases()})
+		m, err := NewMonitor(cls, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tel {
+			m.SetTelemetry(telemetry.NewHub(cls.NumPhases()))
+		}
+		return m
+	}
+	plain, wired := mkMon(false), mkMon(true)
+	for i := 0; i < 500; i++ {
+		s := phase.Sample{MemPerUop: float64(i%7) * 0.006, UPC: 1}
+		a1, n1 := plain.Step(s)
+		a2, n2 := wired.Step(s)
+		if a1 != a2 || n1 != n2 {
+			t.Fatalf("step %d diverged: (%v,%v) vs (%v,%v)", i, a1, n1, a2, n2)
+		}
+	}
+	if plain.Tally() != wired.Tally() {
+		t.Errorf("tallies diverged: %+v vs %+v", plain.Tally(), wired.Tally())
+	}
+}

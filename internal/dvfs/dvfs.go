@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"phasemon/internal/phase"
+	"phasemon/internal/telemetry"
 )
 
 // OperatingPoint is one DVFS setting: a core frequency and the supply
@@ -247,6 +248,8 @@ type Controller struct {
 
 	transitions      int
 	timeInTransition float64
+
+	tel *telemetry.Hub
 }
 
 // DefaultTransitionLatency is the modeled cost of one SpeedStep
@@ -282,10 +285,22 @@ func (c *Controller) Set(s Setting) (cost float64, err error) {
 	if s == c.current {
 		return 0, nil
 	}
+	if c.tel != nil {
+		c.tel.RecordDVFSChange(-1, int(c.current), int(s))
+	}
 	c.current = s
 	c.transitions++
 	c.timeInTransition += c.transitionLatency
 	return c.transitionLatency, nil
+}
+
+// SetTelemetry attaches a telemetry hub; operating-point changes are
+// then counted and journaled. Nil detaches.
+func (c *Controller) SetTelemetry(h *telemetry.Hub) {
+	c.tel = h
+	if h != nil {
+		h.CurrentSetting.Set(float64(c.current))
+	}
 }
 
 // Reset returns the controller to the fastest setting and clears its

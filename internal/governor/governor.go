@@ -27,6 +27,7 @@ import (
 	"phasemon/internal/machine"
 	"phasemon/internal/phase"
 	"phasemon/internal/stats"
+	"phasemon/internal/telemetry"
 	"phasemon/internal/workload"
 )
 
@@ -130,6 +131,10 @@ type Config struct {
 	// Machine configures the platform; the zero value selects all
 	// defaults. Set Machine.Recorder to capture the power waveform.
 	Machine machine.Config
+	// Telemetry, when non-nil, observes the run live: the kernel
+	// module wires it through the monitor, predictor, and DVFS
+	// controller, and the governor counts runs. Nil runs unobserved.
+	Telemetry *telemetry.Hub
 }
 
 // Result is one policy's run outcome.
@@ -185,6 +190,7 @@ func Run(gen workload.Generator, pol Policy, cfg Config) (*Result, error) {
 	modCfg := kernelsim.Config{
 		GranularityUops: cfg.GranularityUops,
 		Monitor:         mon,
+		Telemetry:       cfg.Telemetry,
 	}
 	if pol.Managed() {
 		modCfg.Translation = cfg.Translation
@@ -198,6 +204,9 @@ func Run(gen workload.Generator, pol Policy, cfg Config) (*Result, error) {
 	m := machine.New(mcfg)
 	if err := mod.Load(m); err != nil {
 		return nil, err
+	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.GovernorRuns.Inc()
 	}
 	gen.Reset()
 	run, err := m.Run(gen, mod)

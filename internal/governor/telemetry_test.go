@@ -1,0 +1,59 @@
+package governor
+
+import (
+	"testing"
+
+	"phasemon/internal/telemetry"
+	"phasemon/internal/workload"
+)
+
+// TestRunFeedsTelemetryHub checks the end-to-end wiring: a governed
+// run with Config.Telemetry set must leave the hub's counters, live
+// accuracy view, and journal consistent with the run's own accounting.
+func TestRunFeedsTelemetryHub(t *testing.T) {
+	prof, err := workload.ByName("applu_in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := prof.Generator(workload.Params{Seed: 1, Intervals: 60})
+	hub := telemetry.NewHub(6)
+
+	r, err := Run(gen, Proactive(8, 128), Config{Telemetry: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := uint64(len(r.Log))
+	if n == 0 {
+		t.Fatal("run produced no log entries")
+	}
+	if got := hub.Steps.Value(); got != n {
+		t.Errorf("Steps = %d, want %d", got, n)
+	}
+	if got := hub.PMISamples.Value(); got != n {
+		t.Errorf("PMISamples = %d, want %d", got, n)
+	}
+	if got := hub.GovernorRuns.Value(); got != 1 {
+		t.Errorf("GovernorRuns = %d, want 1", got)
+	}
+	v := hub.Accuracy()
+	if v.Total != r.Accuracy.Total() || v.Correct != r.Accuracy.Correct() {
+		t.Errorf("hub accuracy %d/%d, monitor tally %d/%d",
+			v.Correct, v.Total, r.Accuracy.Correct(), r.Accuracy.Total())
+	}
+	if hub.DVFSTransitions.Value() == 0 {
+		t.Error("managed run over a variable benchmark recorded no DVFS transitions")
+	}
+	if hub.Journal.Len() == 0 {
+		t.Error("journal is empty after an observed run")
+	}
+
+	// An unobserved run must not touch the hub.
+	gen.Reset()
+	if _, err := Run(gen, Proactive(8, 128), Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.Steps.Value(); got != n {
+		t.Errorf("unobserved run changed hub Steps: %d -> %d", n, got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"phasemon/internal/machine"
 	"phasemon/internal/phase"
 	"phasemon/internal/pmc"
+	"phasemon/internal/telemetry"
 	"phasemon/internal/trace"
 )
 
@@ -58,6 +59,11 @@ type Config struct {
 	// LogCapacity bounds the kernel log (ring buffer); zero selects
 	// 65536 entries.
 	LogCapacity int
+	// Telemetry, when non-nil, receives live instrumentation from the
+	// PMI path; Load also wires it into the monitor, predictor, and
+	// DVFS controller. Nil (the default) leaves the run unobserved at
+	// near-zero cost.
+	Telemetry *telemetry.Hub
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +142,10 @@ func NewModule(cfg Config) (*Module, error) {
 // Load installs the module on the machine: it configures and arms the
 // counters (the one-time initialization of Figure 8) and starts them.
 func (mod *Module) Load(m *machine.Machine) error {
+	if mod.cfg.Telemetry != nil {
+		mod.cfg.Monitor.SetTelemetry(mod.cfg.Telemetry)
+		m.DVFS().SetTelemetry(mod.cfg.Telemetry)
+	}
 	b := m.PMCs()
 	if err := b.Configure(SlotUops, pmc.EventUopsRetired, true); err != nil {
 		return err
@@ -234,6 +244,13 @@ func (mod *Module) HandlePMI(m *machine.Machine) float64 {
 	cost := mod.handlerCost()
 	if cost > mod.cfg.BudgetS {
 		mod.budgetViolations++
+	}
+	if tel := mod.cfg.Telemetry; tel != nil {
+		tel.RecordPMISample(mod.index-1, s.MemPerUop, s.UPC)
+		tel.HandlerCost.Observe(cost)
+		if cost > mod.cfg.BudgetS {
+			tel.BudgetViolations.Inc()
+		}
 	}
 	return cost
 }

@@ -207,6 +207,30 @@ func NewConfusion(n int) (*Confusion, error) {
 	return c, nil
 }
 
+// NewConfusionFromCounts rebuilds a matrix from a full (n+1)×(n+1)
+// count grid as returned by Counts — the import path for telemetry
+// layers that accumulate counts externally (e.g. in atomic cells) and
+// materialize a Confusion only when exporting a view.
+func NewConfusionFromCounts(counts [][]int) (*Confusion, error) {
+	n := len(counts) - 1
+	if n < 1 {
+		return nil, fmt.Errorf("stats: confusion counts need at least a 2x2 grid, got %d rows", len(counts))
+	}
+	c := &Confusion{n: n, counts: make([][]int, n+1)}
+	for i, row := range counts {
+		if len(row) != n+1 {
+			return nil, fmt.Errorf("stats: confusion row %d has %d columns, want %d", i, len(row), n+1)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("stats: negative count %d at [%d][%d]", v, i, j)
+			}
+		}
+		c.counts[i] = append([]int(nil), row...)
+	}
+	return c, nil
+}
+
 // Record adds one outcome. Out-of-range IDs (including None) land in
 // index 0.
 func (c *Confusion) Record(predicted, actual phase.ID) {
@@ -237,6 +261,42 @@ func (c *Confusion) PerPhaseAccuracy(id phase.ID) (float64, bool) {
 		return 0, false
 	}
 	return float64(row[c.clamp(id)]) / float64(total), true
+}
+
+// NumPhases returns the number of phases the matrix covers.
+func (c *Confusion) NumPhases() int { return c.n }
+
+// Counts returns a copy of the full (n+1)×(n+1) count matrix: rows are
+// actual phases, columns predicted phases, and index 0 collects
+// None/out-of-range IDs. The copy is the caller's to mutate.
+func (c *Confusion) Counts() [][]int {
+	out := make([][]int, len(c.counts))
+	for i, row := range c.counts {
+		out[i] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// RowNormalized returns the count matrix with each row scaled to sum
+// to 1 — the per-actual-phase prediction distribution a live accuracy
+// view displays. Rows with no observations (including the whole matrix
+// before any Record) stay all-zero rather than becoming NaN.
+func (c *Confusion) RowNormalized() [][]float64 {
+	out := make([][]float64, len(c.counts))
+	for i, row := range c.counts {
+		out[i] = make([]float64, len(row))
+		total := 0
+		for _, v := range row {
+			total += v
+		}
+		if total == 0 {
+			continue
+		}
+		for j, v := range row {
+			out[i][j] = float64(v) / float64(total)
+		}
+	}
+	return out
 }
 
 // GeoMean returns the geometric mean of xs — the conventional

@@ -192,6 +192,85 @@ func TestConfusion(t *testing.T) {
 	}
 }
 
+func TestConfusionCountsExport(t *testing.T) {
+	c, err := NewConfusion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPhases() != 3 {
+		t.Errorf("NumPhases = %d", c.NumPhases())
+	}
+	c.Record(2, 1)
+	c.Record(1, 1)
+	m := c.Counts()
+	if len(m) != 4 || len(m[0]) != 4 {
+		t.Fatalf("Counts is %dx%d, want 4x4", len(m), len(m[0]))
+	}
+	if m[1][2] != 1 || m[1][1] != 1 {
+		t.Errorf("Counts = %v", m)
+	}
+	// The export is a copy: mutating it must not touch the matrix.
+	m[1][2] = 99
+	if c.Count(2, 1) != 1 {
+		t.Error("Counts must return a copy")
+	}
+}
+
+func TestConfusionRowNormalized(t *testing.T) {
+	c, err := NewConfusion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Record(1, 1)
+	c.Record(2, 1)
+	c.Record(2, 1)
+	c.Record(phase.None, 2) // unpredicted interval for actual 2
+	n := c.RowNormalized()
+	if math.Abs(n[1][1]-1.0/3) > 1e-12 || math.Abs(n[1][2]-2.0/3) > 1e-12 {
+		t.Errorf("row 1 = %v", n[1])
+	}
+	if n[2][0] != 1 {
+		t.Errorf("row 2 = %v (None predictions normalize into column 0)", n[2])
+	}
+	// Rows with no observations stay all-zero — no NaN leakage.
+	for j, v := range n[3] {
+		if v != 0 || math.IsNaN(v) {
+			t.Errorf("empty row 3 column %d = %v, want 0", j, v)
+		}
+	}
+	// Non-empty rows sum to 1.
+	for i := 1; i <= 2; i++ {
+		sum := 0.0
+		for _, v := range n[i] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestConfusionEmptyMatrixExports(t *testing.T) {
+	c, err := NewConfusion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range c.Counts() {
+		for _, v := range row {
+			if v != 0 {
+				t.Fatalf("fresh Counts not all-zero: %v", c.Counts())
+			}
+		}
+	}
+	for _, row := range c.RowNormalized() {
+		for _, v := range row {
+			if v != 0 || math.IsNaN(v) {
+				t.Fatalf("fresh RowNormalized not all-zero: %v", c.RowNormalized())
+			}
+		}
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	got, err := GeoMean([]float64{1, 4})
 	if err != nil || math.Abs(got-2) > 1e-12 {
@@ -209,5 +288,50 @@ func TestGeoMean(t *testing.T) {
 	}
 	if _, err := GeoMean([]float64{1, -2}); err == nil {
 		t.Error("negative accepted")
+	}
+}
+
+func TestNewConfusionFromCounts(t *testing.T) {
+	counts := [][]int{
+		{0, 0, 0},
+		{0, 5, 1},
+		{0, 2, 7},
+	}
+	c, err := NewConfusionFromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPhases() != 2 {
+		t.Errorf("NumPhases = %d, want 2", c.NumPhases())
+	}
+	if got := c.Count(phase.ID(2), phase.ID(1)); got != 1 {
+		t.Errorf("Count(pred 2, actual 1) = %d, want 1", got)
+	}
+	if a, ok := c.PerPhaseAccuracy(phase.ID(2)); !ok || math.Abs(a-7.0/9.0) > 1e-12 {
+		t.Errorf("PerPhaseAccuracy(2) = %v, %v", a, ok)
+	}
+	// The input is deep-copied: mutating it must not change the matrix.
+	counts[1][1] = 99
+	if got := c.Count(phase.ID(1), phase.ID(1)); got != 5 {
+		t.Errorf("matrix aliases caller's slice: Count = %d, want 5", got)
+	}
+	// Round trip through Counts.
+	c2, err := NewConfusionFromCounts(c.Counts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Count(phase.ID(1), phase.ID(2)) != 2 {
+		t.Error("Counts -> NewConfusionFromCounts round trip lost data")
+	}
+	// Malformed grids are rejected.
+	for name, bad := range map[string][][]int{
+		"empty":    {},
+		"1x1":      {{0}},
+		"ragged":   {{0, 0}, {0}},
+		"negative": {{0, 0}, {0, -1}},
+	} {
+		if _, err := NewConfusionFromCounts(bad); err == nil {
+			t.Errorf("%s grid accepted", name)
+		}
 	}
 }

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-labelled buckets plus _sum and
+// _count series. Output is sorted by metric name so scrapes diff
+// cleanly.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders floats the way Prometheus expects: shortest
+// round-trippable decimal, with explicit Inf/NaN spellings.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// JournalStats summarizes the journal's occupancy for snapshots.
+type JournalStats struct {
+	Len     int    `json:"len"`
+	Cap     int    `json:"cap"`
+	Seq     uint64 `json:"seq"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// HubSnapshot is the JSON document served at /snapshot: every
+// instrument, the live accuracy view, and journal occupancy.
+type HubSnapshot struct {
+	Metrics  Snapshot     `json:"metrics"`
+	Accuracy AccuracyView `json:"accuracy"`
+	Journal  JournalStats `json:"journal"`
+}
+
+// Snapshot captures the hub's full state.
+func (h *Hub) Snapshot() HubSnapshot {
+	if h == nil {
+		return HubSnapshot{Metrics: (*Registry)(nil).Snapshot()}
+	}
+	return HubSnapshot{
+		Metrics:  h.Registry.Snapshot(),
+		Accuracy: h.Accuracy(),
+		Journal: JournalStats{
+			Len:     h.Journal.Len(),
+			Cap:     h.Journal.Cap(),
+			Seq:     h.Journal.Seq(),
+			Dropped: h.Journal.Dropped(),
+		},
+	}
+}

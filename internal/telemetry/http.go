@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the hub's HTTP surface:
+//
+//	GET /metrics   Prometheus text exposition of every instrument
+//	GET /snapshot  JSON HubSnapshot (metrics + accuracy + journal stats)
+//	GET /events    JSON array of recent journal events (?n=K limits it)
+//	GET /          plain-text index of the above
+//
+// The handler only reads hub state through the same synchronized
+// paths writers use, so it is safe to serve while a run is in flight.
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !methodIsGet(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, h.Registry.Snapshot())
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if !methodIsGet(w, r) {
+			return
+		}
+		writeJSON(w, h.Snapshot())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if !methodIsGet(w, r) {
+			return
+		}
+		max := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			max = n
+		}
+		events := h.Journal.Recent(max)
+		if events == nil {
+			events = []Event{}
+		}
+		writeJSON(w, events)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		if !methodIsGet(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("phasemon telemetry\n\n/metrics   Prometheus text format\n/snapshot  JSON metrics + live accuracy\n/events    recent event journal (?n=K)\n"))
+	})
+	return mux
+}
+
+func methodIsGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Serve starts an HTTP server for the hub on addr (e.g. ":9100" or
+// "127.0.0.1:0") in a background goroutine. It returns the bound
+// address — useful when addr requested port 0 — and a function that
+// shuts the server down. Errors binding the listener are returned
+// immediately; errors after startup are dropped (the server exists to
+// observe the run, never to abort it).
+func (h *Hub) Serve(addr string) (bound net.Addr, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: h.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// EventKind discriminates journal events.
+type EventKind uint8
+
+// The event types the instrumented hot paths emit.
+const (
+	// KindPhaseTransition marks the classified phase changing between
+	// consecutive intervals.
+	KindPhaseTransition EventKind = iota + 1
+	// KindPrediction records one scored prediction: what the predictor
+	// said, what actually happened, and the verdict.
+	KindPrediction
+	// KindDVFSChange records an operating-point transition.
+	KindDVFSChange
+	// KindPMISample records one PMI delivery with its counter-derived
+	// metrics.
+	KindPMISample
+)
+
+// String names the kind as it appears in JSON exports.
+func (k EventKind) String() string {
+	switch k {
+	case KindPhaseTransition:
+		return "phase_transition"
+	case KindPrediction:
+		return "prediction"
+	case KindDVFSChange:
+		return "dvfs_change"
+	case KindPMISample:
+		return "pmi_sample"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string names MarshalJSON emits, so journal
+// exports round-trip through JSON.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	for _, kind := range []EventKind{KindPhaseTransition, KindPrediction, KindDVFSChange, KindPMISample} {
+		if s == kind.String() {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", s)
+}
+
+// Event is one journal record. Phases and DVFS settings are carried as
+// plain ints so the telemetry layer stays free of the packages it
+// observes; the meaning of From/To follows the Kind (phases for
+// KindPhaseTransition, ladder settings for KindDVFSChange).
+type Event struct {
+	// Seq is the journal-assigned monotone sequence number.
+	Seq uint64 `json:"seq"`
+	// Kind discriminates the remaining fields.
+	Kind EventKind `json:"kind"`
+	// Step is the monitor step (sampling interval index) the event
+	// belongs to; -1 when the emitting site has no interval context.
+	Step int `json:"step"`
+	// From and To describe a transition (phase or setting, per Kind).
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Predicted, Actual and Correct describe a KindPrediction verdict.
+	Predicted int  `json:"predicted,omitempty"`
+	Actual    int  `json:"actual,omitempty"`
+	Correct   bool `json:"correct,omitempty"`
+	// MemPerUop and UPC carry a KindPMISample's counter readings.
+	MemPerUop float64 `json:"mem_per_uop,omitempty"`
+	UPC       float64 `json:"upc,omitempty"`
+}
+
+// DefaultJournalCapacity bounds the default event journal. At one
+// prediction plus one PMI sample per 100M-uop interval this holds a
+// few minutes of recent history.
+const DefaultJournalCapacity = 4096
+
+// Journal is a bounded ring buffer of recent events. When full, the
+// oldest event is overwritten and the dropped count incremented — the
+// journal is a window onto the recent past, never a complete log (the
+// kernelsim log keeps the complete per-interval record). All methods
+// are safe for concurrent use and no-ops on a nil receiver.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest event when len(buf) == cap
+	n       int // events currently held
+	seq     uint64
+	dropped uint64
+}
+
+// NewJournal builds a journal holding at most capacity events;
+// capacity < 1 selects DefaultJournalCapacity.
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = DefaultJournalCapacity
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, assigning its sequence number. The oldest
+// event is evicted when the buffer is full.
+func (j *Journal) Record(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	e.Seq = j.seq
+	j.seq++
+	if j.n < len(j.buf) {
+		j.buf[(j.start+j.n)%len(j.buf)] = e
+		j.n++
+	} else {
+		j.buf[j.start] = e
+		j.start = (j.start + 1) % len(j.buf)
+		j.dropped++
+	}
+	j.mu.Unlock()
+}
+
+// Recent returns up to max of the newest events, oldest first. max < 1
+// returns everything held.
+func (j *Journal) Recent(max int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.n
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Event, n)
+	first := j.start + (j.n - n) // skip the oldest j.n-n events
+	for i := 0; i < n; i++ {
+		out[i] = j.buf[(first+i)%len(j.buf)]
+	}
+	return out
+}
+
+// Len returns how many events the journal currently holds.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Cap returns the journal's capacity.
+func (j *Journal) Cap() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.buf)
+}
+
+// Seq returns how many events have ever been recorded.
+func (j *Journal) Seq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Dropped returns how many events were evicted unread by wraparound.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}

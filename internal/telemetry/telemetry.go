@@ -1,0 +1,262 @@
+// Package telemetry gives the phase-monitoring pipeline live, runtime
+// observability — the user-visible counterpart of the paper's "live"
+// claim. It provides cheap in-process instruments (atomic counters,
+// gauges, fixed-bucket histograms) behind a central registry, plus a
+// bounded ring-buffer journal of typed events (phase transitions,
+// prediction verdicts, DVFS changes, PMI samples), and exports all of
+// it as a JSON snapshot, Prometheus text, or over HTTP.
+//
+// The design follows the in-process aggregator/exporter shape of
+// production agents: instrumentation sites write through nil-safe
+// handles so an unobserved run (nil Hub) pays a single predictable
+// branch per hot-path call, and readers pull consistent-enough copies
+// without ever blocking writers on anything slower than a mutex.
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"phasemon/internal/stats"
+)
+
+// Metric names exported by the hub. Keeping them as constants makes
+// the Prometheus surface greppable from one place.
+const (
+	MetricSteps            = "phasemon_monitor_steps_total"
+	MetricMispredictions   = "phasemon_monitor_mispredictions_total"
+	MetricPhaseTransitions = "phasemon_monitor_phase_transitions_total"
+	MetricGPHTHits         = "phasemon_gpht_hits_total"
+	MetricGPHTMisses       = "phasemon_gpht_misses_total"
+	MetricDVFSTransitions  = "phasemon_dvfs_transitions_total"
+	MetricPMISamples       = "phasemon_pmi_samples_total"
+	MetricBudgetViolations = "phasemon_pmi_budget_violations_total"
+	MetricGovernorRuns     = "phasemon_governor_runs_total"
+	MetricCurrentPhase     = "phasemon_monitor_current_phase"
+	MetricPredictedPhase   = "phasemon_monitor_predicted_phase"
+	MetricCurrentSetting   = "phasemon_dvfs_current_setting"
+	MetricMemPerUop        = "phasemon_sample_mem_per_uop"
+	MetricHandlerSeconds   = "phasemon_pmi_handler_seconds"
+)
+
+// DefaultMemPerUopBounds are the Mem/Uop histogram bucket bounds — the
+// paper's Table 1 phase boundaries, so each bucket is one phase.
+var DefaultMemPerUopBounds = []float64{0.005, 0.010, 0.015, 0.020, 0.030}
+
+// DefaultHandlerBounds bucket the PMI handler cost in seconds; the
+// last bound is the kernel module's 50 µs interrupt budget, so the
+// +Inf bucket counts budget-busting invocations.
+var DefaultHandlerBounds = []float64{1e-6, 2e-6, 5e-6, 10e-6, 20e-6, 50e-6}
+
+// Hub bundles the instruments and journal for one monitored pipeline.
+// Every Record* method and every instrument handle is safe on a nil
+// *Hub, so components hold a Hub pointer that defaults to nil and
+// instrument unconditionally.
+type Hub struct {
+	// Registry holds every instrument below, for export.
+	Registry *Registry
+	// Journal holds the recent typed events.
+	Journal *Journal
+
+	// Counters over the hot paths.
+	Steps            *Counter
+	Mispredictions   *Counter
+	PhaseTransitions *Counter
+	GPHTHits         *Counter
+	GPHTMisses       *Counter
+	DVFSTransitions  *Counter
+	PMISamples       *Counter
+	BudgetViolations *Counter
+	GovernorRuns     *Counter
+
+	// Gauges of current state.
+	CurrentPhase   *Gauge
+	PredictedPhase *Gauge
+	CurrentSetting *Gauge
+
+	// Distributions.
+	MemPerUop   *Histogram
+	HandlerCost *Histogram
+
+	// conf is the live confusion matrix: a flat row-major
+	// (numPhases+1)² grid of atomic cells (row = actual, column =
+	// predicted, index 0 = None/out-of-range), so scoring a verdict
+	// costs one atomic add. Snapshots materialize it into a
+	// stats.Confusion and reuse that type's export paths.
+	numPhases int
+	conf      []atomic.Uint64
+}
+
+// NewHub builds a hub for a classifier with numPhases phases (values
+// below 1 select the paper's 6) with freshly registered instruments
+// and a DefaultJournalCapacity journal.
+func NewHub(numPhases int) *Hub {
+	if numPhases < 1 {
+		numPhases = 6
+	}
+	reg := NewRegistry()
+	h := &Hub{
+		Registry:         reg,
+		Journal:          NewJournal(DefaultJournalCapacity),
+		Steps:            reg.Counter(MetricSteps),
+		Mispredictions:   reg.Counter(MetricMispredictions),
+		PhaseTransitions: reg.Counter(MetricPhaseTransitions),
+		GPHTHits:         reg.Counter(MetricGPHTHits),
+		GPHTMisses:       reg.Counter(MetricGPHTMisses),
+		DVFSTransitions:  reg.Counter(MetricDVFSTransitions),
+		PMISamples:       reg.Counter(MetricPMISamples),
+		BudgetViolations: reg.Counter(MetricBudgetViolations),
+		GovernorRuns:     reg.Counter(MetricGovernorRuns),
+		CurrentPhase:     reg.Gauge(MetricCurrentPhase),
+		PredictedPhase:   reg.Gauge(MetricPredictedPhase),
+		CurrentSetting:   reg.Gauge(MetricCurrentSetting),
+	}
+	h.MemPerUop, _ = reg.Histogram(MetricMemPerUop, DefaultMemPerUopBounds)
+	h.HandlerCost, _ = reg.Histogram(MetricHandlerSeconds, DefaultHandlerBounds)
+	h.numPhases = numPhases
+	h.conf = make([]atomic.Uint64, (numPhases+1)*(numPhases+1))
+	return h
+}
+
+// confCell maps a phase ID onto a matrix index, clamping
+// None/out-of-range IDs to 0 exactly as stats.Confusion does.
+func (h *Hub) confCell(id int) int {
+	if id < 1 || id > h.numPhases {
+		return 0
+	}
+	return id
+}
+
+// RecordPrediction scores one prediction verdict: it updates the
+// misprediction counter, the live accuracy view, and journals the
+// verdict. step is the monitor step the verdict belongs to.
+func (h *Hub) RecordPrediction(step, predicted, actual int) {
+	if h == nil {
+		return
+	}
+	correct := predicted == actual
+	if !correct {
+		h.Mispredictions.Inc()
+	}
+	h.conf[h.confCell(actual)*(h.numPhases+1)+h.confCell(predicted)].Add(1)
+	h.Journal.Record(Event{
+		Kind: KindPrediction, Step: step,
+		Predicted: predicted, Actual: actual, Correct: correct,
+	})
+}
+
+// RecordPhaseTransition journals a change of the classified phase and
+// bumps the transition counter.
+func (h *Hub) RecordPhaseTransition(step, from, to int) {
+	if h == nil {
+		return
+	}
+	h.PhaseTransitions.Inc()
+	h.Journal.Record(Event{Kind: KindPhaseTransition, Step: step, From: from, To: to})
+}
+
+// RecordDVFSChange journals an operating-point change and bumps the
+// transition counter. Pass step -1 from sites without interval
+// context (the DVFS controller does not know the interval index).
+func (h *Hub) RecordDVFSChange(step, from, to int) {
+	if h == nil {
+		return
+	}
+	h.DVFSTransitions.Inc()
+	h.CurrentSetting.Set(float64(to))
+	h.Journal.Record(Event{Kind: KindDVFSChange, Step: step, From: from, To: to})
+}
+
+// RecordPMISample journals one PMI delivery and feeds the sample
+// distributions.
+func (h *Hub) RecordPMISample(step int, memPerUop, upc float64) {
+	if h == nil {
+		return
+	}
+	h.PMISamples.Inc()
+	h.Journal.Record(Event{Kind: KindPMISample, Step: step, MemPerUop: memPerUop, UPC: upc})
+}
+
+// AccuracyView is the live prediction-accuracy summary served by
+// snapshots, built from the stats package's confusion-matrix export
+// paths.
+type AccuracyView struct {
+	// Total and Correct count scored predictions.
+	Total   int `json:"total"`
+	Correct int `json:"correct"`
+	// Accuracy is Correct/Total, 0 while Total is 0.
+	Accuracy float64 `json:"accuracy"`
+	// Confusion is the (n+1)×(n+1) count matrix (row = actual phase,
+	// column = predicted; index 0 collects None/out-of-range IDs).
+	Confusion [][]int `json:"confusion"`
+	// RowNormalized is Confusion with each row scaled to sum to 1;
+	// rows with no observations stay all-zero.
+	RowNormalized [][]float64 `json:"row_normalized"`
+}
+
+// confusion materializes the atomic matrix into a stats.Confusion.
+// The cells are read one by one while writers proceed, so the copy is
+// consistent only up to per-cell atomicity — the monitoring tradeoff
+// this whole package makes.
+func (h *Hub) confusion() *stats.Confusion {
+	side := h.numPhases + 1
+	counts := make([][]int, side)
+	for i := range counts {
+		counts[i] = make([]int, side)
+		for j := range counts[i] {
+			counts[i][j] = int(h.conf[i*side+j].Load())
+		}
+	}
+	c, err := stats.NewConfusionFromCounts(counts)
+	if err != nil {
+		// Unreachable: the matrix is square by construction.
+		c, _ = stats.NewConfusion(h.numPhases)
+	}
+	return c
+}
+
+// Accuracy snapshots the live accuracy view through the stats
+// package's confusion-matrix export paths.
+func (h *Hub) Accuracy() AccuracyView {
+	if h == nil {
+		return AccuracyView{}
+	}
+	c := h.confusion()
+	v := AccuracyView{
+		Confusion:     c.Counts(),
+		RowNormalized: c.RowNormalized(),
+	}
+	for i, row := range v.Confusion {
+		for j, n := range row {
+			v.Total += n
+			if i == j {
+				v.Correct += n
+			}
+		}
+	}
+	if v.Total > 0 {
+		v.Accuracy = float64(v.Correct) / float64(v.Total)
+	}
+	return v
+}
+
+// Summary renders a one-line operator view: steps, accuracy, phase and
+// DVFS transition counts, PMI samples, and journal occupancy. This is
+// the line cmd/dvfsgov prints periodically in live mode.
+func (h *Hub) Summary() string {
+	if h == nil {
+		return "telemetry off"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "steps=%d", h.Steps.Value())
+	if v := h.Accuracy(); v.Total > 0 {
+		fmt.Fprintf(&b, " acc=%.1f%%(%d)", v.Accuracy*100, v.Total)
+	} else {
+		b.WriteString(" acc=-")
+	}
+	fmt.Fprintf(&b, " phase=P%.0f transitions=%d dvfs=%d pmis=%d journal=%d/%d",
+		h.CurrentPhase.Value(), h.PhaseTransitions.Value(), h.DVFSTransitions.Value(),
+		h.PMISamples.Value(), h.Journal.Len(), h.Journal.Cap())
+	return b.String()
+}
