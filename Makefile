@@ -2,18 +2,33 @@
 
 GO ?= go
 
-.PHONY: all build test test-short check race bench experiments extensions csv clean
+# staticcheck is optional locally (CI pins and installs it); the lint
+# target runs it only when present so `make lint` works offline.
+STATICCHECK_VERSION ?= 2024.1.1
+STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
+
+.PHONY: all build test test-short check lint race bench experiments extensions csv clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# The strict gate: vet plus the full suite under the race detector.
+# Static analysis: vet, the repo's own analyzer suite (see DESIGN.md
+# §8), and staticcheck when installed.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/phasemonlint ./...
+ifneq ($(STATICCHECK),)
+	$(STATICCHECK) ./...
+else
+	@echo "staticcheck not found; skipping (CI runs $(STATICCHECK_VERSION))"
+endif
+
+# The strict gate: lint plus the full suite under the race detector.
 # The telemetry hot paths are lock-free atomics shared with HTTP
 # readers, so -race is part of the default bar, not an extra.
-check:
-	$(GO) vet ./...
+check: lint
 	$(GO) test -race ./...
 
 test: check

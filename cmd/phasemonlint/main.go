@@ -1,0 +1,107 @@
+// Command phasemonlint runs the repo's custom static-analysis suite —
+// the machine-checkable form of the invariants the paper's results
+// rest on. See internal/lint for the analyzers and DESIGN.md §8 for
+// the rationale.
+//
+// Usage:
+//
+//	phasemonlint [-analyzers list] [-list] [packages...]
+//
+// Packages default to ./... and accept the go tool's pattern syntax.
+// The exit status is 1 if any diagnostic is reported, 2 on failure to
+// load or analyze.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"phasemon/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("phasemonlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only    = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list    = fs.Bool("list", false, "list available analyzers and exit")
+		verbose = fs.Bool("v", false, "report per-package progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		analyzers = selectAnalyzers(analyzers, *only)
+		if len(analyzers) == 0 {
+			fmt.Fprintf(stderr, "phasemonlint: no analyzers match %q\n", *only)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "phasemonlint: %v\n", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.PkgPath) {
+				continue
+			}
+			if *verbose {
+				fmt.Fprintf(stderr, "phasemonlint: %s %s\n", a.Name, pkg.PkgPath)
+			}
+			diags, err := lint.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(stderr, "phasemonlint: %v\n", err)
+				return 2
+			}
+			for _, d := range diags {
+				fmt.Fprintf(stdout, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "phasemonlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(all []*lint.Analyzer, spec string) []*lint.Analyzer {
+	want := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	var out []*lint.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"determinism", "nilhub", "floateq", "exhaustive"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestRunRepoClean(t *testing.T) {
+	var stdout, stderr strings.Builder
+	// The test binary runs in this directory; module-rooted patterns
+	// resolve regardless of the working directory.
+	if code := run([]string{"phasemon/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(phasemon/...) = %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no diagnostics, got:\n%s", stdout.String())
+	}
+}
+
+func TestUnknownAnalyzerSelection(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-analyzers", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-analyzers nope) = %d, want 2", code)
+	}
+}

@@ -36,6 +36,20 @@ func (p OperatingPoint) String() string {
 // point.
 type Setting int
 
+// Named settings for the Pentium-M ladder of the paper's Table 2,
+// fastest first. They index PentiumM(); ladders of other sizes use
+// plain integer settings. Switches over Setting are checked for
+// exhaustiveness by phasemonlint, so a seventh operating point forces
+// every consumer to decide how to handle it.
+const (
+	SpeedStep1500 Setting = iota // 1500 MHz, 1.484 V
+	SpeedStep1400                // 1400 MHz, 1.452 V
+	SpeedStep1200                // 1200 MHz, 1.356 V
+	SpeedStep1000                // 1000 MHz, 1.228 V
+	SpeedStep800                 //  800 MHz, 1.116 V
+	SpeedStep600                 //  600 MHz, 0.956 V
+)
+
 // Ladder is an immutable, ordered collection of operating points,
 // fastest (highest frequency) first.
 type Ladder struct {
@@ -44,24 +58,34 @@ type Ladder struct {
 }
 
 // ErrBadLadder reports an invalid operating point list.
-var ErrBadLadder = errors.New("dvfs: operating points must be positive and strictly descending in frequency")
+var ErrBadLadder = errors.New("dvfs: operating points must be positive, strictly descending in frequency, and non-increasing in voltage")
 
 // NewLadder validates and builds a ladder. Points must be ordered by
-// strictly descending frequency with positive voltages.
+// strictly descending frequency — duplicates (within ApproxEqual
+// tolerance) are rejected, since two settings at the same frequency
+// make Setting ambiguous — with positive voltages that never rise as
+// frequency falls, matching how DVFS hardware scales supply voltage
+// with clock speed.
 func NewLadder(name string, points []OperatingPoint) (*Ladder, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("%w: empty", ErrBadLadder)
 	}
-	prev := math.Inf(1)
+	prevF, prevV := math.Inf(1), math.Inf(1)
 	for _, p := range points {
 		if !(p.FrequencyHz > 0) || !(p.VoltageV > 0) ||
 			math.IsInf(p.FrequencyHz, 0) || math.IsInf(p.VoltageV, 0) {
 			return nil, fmt.Errorf("%w: point %v", ErrBadLadder, p)
 		}
-		if p.FrequencyHz >= prev {
-			return nil, fmt.Errorf("%w: frequency %v not below %v", ErrBadLadder, p.FrequencyHz, prev)
+		if phase.ApproxEqual(p.FrequencyHz, prevF) {
+			return nil, fmt.Errorf("%w: duplicate frequency %v", ErrBadLadder, p.FrequencyHz)
 		}
-		prev = p.FrequencyHz
+		if p.FrequencyHz >= prevF {
+			return nil, fmt.Errorf("%w: frequency %v not below %v", ErrBadLadder, p.FrequencyHz, prevF)
+		}
+		if p.VoltageV > prevV {
+			return nil, fmt.Errorf("%w: voltage %v rises as frequency falls below %v", ErrBadLadder, p.VoltageV, prevF)
+		}
+		prevF, prevV = p.FrequencyHz, p.VoltageV
 	}
 	cp := make([]OperatingPoint, len(points))
 	copy(cp, points)
@@ -117,6 +141,32 @@ func (l *Ladder) Frequencies() []float64 {
 		out[i] = p.FrequencyHz
 	}
 	return out
+}
+
+// ClassSetting maps a canonical six-way phase class (Table 1) to its
+// Table 2 operating point on the Pentium-M ladder: the more
+// memory-bound the class, the slower the point. ClassUnknown gets the
+// fastest setting — when the system knows nothing it must not hurt
+// performance. The switch is exhaustive by construction (phasemonlint
+// enforces it), so a new class cannot silently inherit a speed.
+func ClassSetting(c phase.Class) Setting {
+	switch c {
+	case phase.ClassUnknown:
+		return SpeedStep1500
+	case phase.ClassCPUBound:
+		return SpeedStep1500
+	case phase.ClassMostlyCPU:
+		return SpeedStep1400
+	case phase.ClassBalanced:
+		return SpeedStep1200
+	case phase.ClassMildMemory:
+		return SpeedStep1000
+	case phase.ClassMemoryHeavy:
+		return SpeedStep800
+	case phase.ClassMemoryBound:
+		return SpeedStep600
+	}
+	return SpeedStep1500
 }
 
 // Translation maps predicted phases to ladder settings; it is the

@@ -43,11 +43,60 @@ func TestNewLadderValidation(t *testing.T) {
 		{{1e9, 1}, {1.2e9, 1.1}},    // ascending frequency
 		{{math.Inf(1), 1}},          // infinite
 		{{1e9, 1}, {math.NaN(), 1}}, // NaN
+		// Duplicate within ApproxEqual tolerance: the same physical
+		// frequency arrived at through different arithmetic.
+		{{1e9, 1}, {1e9 * (1 - 1e-14), 0.9}},
+		// Voltage rising as frequency falls.
+		{{1e9, 1.0}, {8e8, 1.2}},
+		{{1e9, 1.0}, {8e8, 0.9}, {6e8, 0.95}},
 	}
 	for i, pts := range bad {
 		if _, err := NewLadder("x", pts); err == nil {
 			t.Errorf("case %d: expected error for %v", i, pts)
 		}
+	}
+	// Flat voltage across points is legal: real tables plateau.
+	if _, err := NewLadder("flat", []OperatingPoint{{1e9, 1.0}, {8e8, 1.0}}); err != nil {
+		t.Errorf("flat-voltage ladder rejected: %v", err)
+	}
+}
+
+func TestNamedSettingsIndexPentiumM(t *testing.T) {
+	l := PentiumM()
+	want := map[Setting]float64{
+		SpeedStep1500: 1500e6,
+		SpeedStep1400: 1400e6,
+		SpeedStep1200: 1200e6,
+		SpeedStep1000: 1000e6,
+		SpeedStep800:  800e6,
+		SpeedStep600:  600e6,
+	}
+	if len(want) != l.Len() {
+		t.Fatalf("%d named settings for %d ladder points", len(want), l.Len())
+	}
+	for s, hz := range want {
+		if got := l.Point(s).FrequencyHz; got != hz {
+			t.Errorf("Point(%d).FrequencyHz = %v, want %v", s, got, hz)
+		}
+	}
+}
+
+func TestClassSettingMonotonic(t *testing.T) {
+	l := PentiumM()
+	prev := math.Inf(1)
+	for c := phase.ClassCPUBound; c <= phase.ClassMemoryBound; c++ {
+		s := ClassSetting(c)
+		if !l.ValidSetting(s) {
+			t.Fatalf("ClassSetting(%v) = %d invalid for Pentium-M ladder", c, s)
+		}
+		f := l.Point(s).FrequencyHz
+		if f > prev {
+			t.Errorf("ClassSetting(%v) speeds up to %v Hz; must not rise with memory-boundedness", c, f)
+		}
+		prev = f
+	}
+	if got := ClassSetting(phase.ClassUnknown); got != l.Fastest() {
+		t.Errorf("ClassSetting(ClassUnknown) = %d, want fastest %d", got, l.Fastest())
 	}
 }
 

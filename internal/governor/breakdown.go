@@ -11,6 +11,9 @@ import (
 // view behind the paper's Figure 10 discussion.
 type PhaseBreakdown struct {
 	Phase phase.ID
+	// Class is the phase's position in the canonical six-way taxonomy
+	// (Table 1), for labeling and cross-classifier comparison.
+	Class phase.Class
 	// Intervals is how many sampling intervals the phase covered.
 	Intervals int
 	// TimeShare and EnergyShare are fractions of the run total.
@@ -65,6 +68,7 @@ func Breakdown(r *Result, numPhases int) []PhaseBreakdown {
 		}
 		b := PhaseBreakdown{
 			Phase:              phase.ID(p),
+			Class:              phase.ClassOf(phase.ID(p), numPhases),
 			Intervals:          a.n,
 			AvgPowerW:          a.energyJ / a.timeS,
 			PredictedCorrectly: float64(a.correct) / float64(a.n),

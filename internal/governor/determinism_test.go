@@ -1,0 +1,69 @@
+package governor
+
+import (
+	"testing"
+
+	"phasemon/internal/workload"
+)
+
+// TestSameSeedRunsAreIdentical is the behavioral half of the
+// determinism lint: two governor runs over generators built from the
+// same seed must produce bit-identical logs — every interval's phase
+// sequence, prediction, DVFS setting, and counter values. The paper's
+// accuracy and EDP tables are only reproducible if this holds.
+func TestSameSeedRunsAreIdentical(t *testing.T) {
+	for _, policy := range []Policy{Unmanaged(), Reactive(), Proactive(8, 128)} {
+		run := func() *Result {
+			t.Helper()
+			p, err := workload.ByName("gzip_graphic")
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := p.Generator(workload.Params{Seed: 42, Intervals: 300})
+			r, err := Run(g, policy, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		a, b := run(), run()
+		if len(a.Log) != len(b.Log) {
+			t.Fatalf("%s: log lengths differ: %d vs %d", a.Policy, len(a.Log), len(b.Log))
+		}
+		for i := range a.Log {
+			if a.Log[i] != b.Log[i] {
+				t.Fatalf("%s: interval %d differs between same-seed runs:\n  %+v\n  %+v",
+					a.Policy, i, a.Log[i], b.Log[i])
+			}
+		}
+		if a.Run != b.Run {
+			t.Errorf("%s: run summaries differ:\n  %+v\n  %+v", a.Policy, a.Run, b.Run)
+		}
+	}
+}
+
+// TestDifferentSeedsDiverge guards the test above against vacuity: if
+// the generator ignored its seed, identical logs would prove nothing.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	p, err := workload.ByName("gzip_graphic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(p.Generator(workload.Params{Seed: 1, Intervals: 300}), Unmanaged(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p.Generator(workload.Params{Seed: 2, Intervals: 300}), Unmanaged(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Log) != len(b.Log) {
+		return
+	}
+	for i := range a.Log {
+		if a.Log[i] != b.Log[i] {
+			return
+		}
+	}
+	t.Error("seeds 1 and 2 produced identical logs; generator may be ignoring its seed")
+}

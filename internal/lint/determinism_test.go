@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"phasemon/internal/lint"
+	"phasemon/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DeterminismAnalyzer,
+		"determinism", "determinism_clean")
+}

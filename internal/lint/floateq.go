@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer forbids == and != between floating-point operands.
+// The Mem/Uop class boundaries of the paper's Table 1 are float64
+// thresholds (0.005, 0.010, ...); two values that are semantically
+// equal but went through different arithmetic compare unequal, which
+// misbins the sample and silently shifts every downstream table.
+// Comparisons belong to phase.ApproxEqual (or an explicit tolerance).
+//
+// Two escapes: comparing against the exact literal 0 is allowed — the
+// sentinel-default idiom ("zero means unset") assigns and tests the
+// same bit pattern — and //lint:floateq suppresses a finding where
+// exact comparison is the point (e.g. inside ApproxEqual itself).
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc: "forbid ==/!= on floating-point values in phase-binning and " +
+		"threshold code; use phase.ApproxEqual",
+	Run:   runFloatEq,
+	Match: matchPaths(simulationPackages),
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(pass.TypesInfo, bin.X) && !isFloatOperand(pass.TypesInfo, bin.Y) {
+				return true
+			}
+			if isZeroLiteral(pass.TypesInfo, bin.X) || isZeroLiteral(pass.TypesInfo, bin.Y) {
+				return true
+			}
+			if constOperand(pass.TypesInfo, bin.X) && constOperand(pass.TypesInfo, bin.Y) {
+				return true // compile-time constant fold, exact by definition
+			}
+			if !pass.Suppressed("floateq", bin.Pos()) {
+				pass.Reportf(bin.OpPos,
+					"floating-point %s comparison; use phase.ApproxEqual or an "+
+						"explicit tolerance (//lint:floateq if exactness is intended)",
+					bin.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloatOperand reports whether the expression's type is (or is named
+// over) a floating-point type.
+func isFloatOperand(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isZeroLiteral reports whether the expression is a constant equal to
+// exactly zero. Zero is the one float every sentinel assignment stores
+// bit-exactly, so comparing against it is well defined.
+func isZeroLiteral(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	kind := tv.Value.Kind()
+	return (kind == constant.Int || kind == constant.Float) && constant.Sign(tv.Value) == 0
+}
+
+func constOperand(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,404 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NilHubAnalyzer enforces the telemetry wiring contract introduced in
+// PR 1: observation is optional, a nil *telemetry.Hub means
+// "unobserved", and the hot paths pay exactly one predictable branch
+// for it. Three checks:
+//
+//  1. guarded use — in any method of a type that (directly or through
+//     a config struct) holds a *telemetry.Hub, every dereference of
+//     the hub (field access or method call) must be dominated by a nil
+//     check of the same expression: an enclosing `if hub != nil`, a
+//     short-circuit `hub != nil && ...`, or a preceding
+//     `if hub == nil { return }` early exit.
+//  2. one-branch contract — inside package telemetry, every exported
+//     pointer-receiver method on a struct instrument must guard its
+//     receiver the same way before touching it, so calling any
+//     instrument through nil stays a no-op instead of a panic.
+//  3. atomic state — instrument structs (Counter, Gauge, Histogram,
+//     Hub, and anything holding sync/atomic fields) may carry mutable
+//     numeric state only in sync/atomic types; plain integer/float
+//     fields are flagged unless annotated //lint:immutable (set once
+//     before publication, e.g. Hub.numPhases).
+var NilHubAnalyzer = &Analyzer{
+	Name: "nilhub",
+	Doc: "telemetry hubs must be nil-guarded at use sites, instrument " +
+		"methods nil-safe, and instrument state atomic",
+	Run: runNilHub,
+}
+
+func runNilHub(pass *Pass) error {
+	inTelemetry := pass.Pkg.Name() == "telemetry"
+	for _, file := range pass.Files {
+		parents := buildParents(file)
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Recv != nil && decl.Body != nil {
+					checkHubUses(pass, decl, parents)
+					if inTelemetry {
+						checkReceiverContract(pass, decl, parents)
+					}
+				}
+			case *ast.GenDecl:
+				if inTelemetry {
+					checkAtomicFields(pass, decl)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- check 1: guarded hub use in methods ---------------------------
+
+func checkHubUses(pass *Pass, fn *ast.FuncDecl, parents map[ast.Node]ast.Node) {
+	recvName := receiverName(fn)
+	// Methods on Hub itself are governed by the one-branch contract
+	// (check 2); their receiver is the hub.
+	recvIsHub := false
+	if len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+		if obj, ok := pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]; ok && obj != nil {
+			recvIsHub = isHubPointer(obj.Type())
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !isHubPointer(tv.Type) {
+			return true
+		}
+		chain := chainString(sel.X)
+		if recvIsHub && chain == recvName {
+			return true
+		}
+		if chain == "" {
+			pass.Reportf(sel.Pos(),
+				"*telemetry.Hub reached through a non-trivial expression; "+
+					"store it in a local and nil-check it before use")
+			return true
+		}
+		if !guarded(sel.X, chain, parents) {
+			pass.Reportf(sel.Pos(),
+				"%s.%s dereferences a *telemetry.Hub without a dominating "+
+					"nil check; guard with `if %s != nil` (telemetry is optional "+
+					"by contract)", chain, sel.Sel.Name, chain)
+		}
+		return true
+	})
+}
+
+// --- check 2: nil-safe exported instrument methods -----------------
+
+func checkReceiverContract(pass *Pass, fn *ast.FuncDecl, parents map[ast.Node]ast.Node) {
+	if !fn.Name.IsExported() || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return
+	}
+	recvIdent := fn.Recv.List[0].Names[0]
+	recvObj := pass.TypesInfo.Defs[recvIdent]
+	if recvObj == nil || !isPointerToStruct(recvObj.Type()) {
+		return
+	}
+	name := recvIdent.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recvObj {
+			return true
+		}
+		if !isDereference(pass, id, parents) {
+			return true // nil comparisons, passing the pointer on, etc.
+		}
+		if !guarded(id, name, parents) {
+			pass.Reportf(id.Pos(),
+				"exported method %s dereferences receiver %s without a nil "+
+					"check; instruments promise to be no-ops on nil receivers",
+				fn.Name.Name, name)
+		}
+		return true
+	})
+}
+
+// isDereference reports whether the identifier use actually commits to
+// a non-nil pointer: a field selection, an index, or an explicit
+// *deref. Calling a method through the receiver is NOT a dereference
+// here — by this very contract, every exported instrument method is
+// nil-safe, so the call is legal; the callee is checked on its own.
+func isDereference(pass *Pass, id *ast.Ident, parents map[ast.Node]ast.Node) bool {
+	switch p := parents[id].(type) {
+	case *ast.SelectorExpr:
+		if p.X != ast.Expr(id) {
+			return false
+		}
+		if sel, ok := pass.TypesInfo.Selections[p]; ok && sel.Kind() == types.MethodVal {
+			return false
+		}
+		return true
+	case *ast.StarExpr:
+		return p.X == ast.Expr(id)
+	case *ast.IndexExpr:
+		return p.X == ast.Expr(id)
+	}
+	return false
+}
+
+// --- check 3: atomic-only instrument state -------------------------
+
+// instrumentTypeNames are the telemetry structs whose mutable numeric
+// state must live in sync/atomic types even if they currently hold no
+// atomic field.
+var instrumentTypeNames = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Hub": true,
+}
+
+func checkAtomicFields(pass *Pass, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		if !instrumentTypeNames[ts.Name.Name] && !hasAtomicField(pass, st) {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil || !isPlainNumeric(obj.Type()) {
+					continue
+				}
+				if pass.Suppressed("immutable", name.Pos()) {
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"instrument field %s.%s is plain %s; counters shared with "+
+						"readers must use sync/atomic (//lint:immutable for "+
+						"set-once configuration)",
+					ts.Name.Name, name.Name, obj.Type())
+			}
+		}
+	}
+}
+
+func hasAtomicField(pass *Pass, st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && containsAtomic(obj.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsAtomic reports whether t is a sync/atomic type or a
+// slice/array of one.
+func containsAtomic(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Slice:
+		return containsAtomic(t.Elem())
+	case *types.Array:
+		return containsAtomic(t.Elem())
+	}
+	pkg, _, ok := namedFrom(t)
+	return ok && pkg == "atomic"
+}
+
+func isPlainNumeric(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsNumeric != 0
+}
+
+// --- shared machinery ----------------------------------------------
+
+func receiverName(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fn.Recv.List[0].Names[0].Name
+}
+
+func isHubPointer(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	pkg, name, ok := namedFrom(ptr.Elem())
+	return ok && pkg == "telemetry" && name == "Hub"
+}
+
+func isPointerToStruct(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	_, isStruct := ptr.Elem().Underlying().(*types.Struct)
+	return isStruct
+}
+
+// buildParents records each node's syntactic parent within one file.
+func buildParents(file *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// chainString renders an ident or ident.field... chain, or "" for
+// anything more complex (calls, indexing), which cannot be matched
+// against a guard syntactically.
+func chainString(expr ast.Expr) string {
+	switch expr := expr.(type) {
+	case *ast.Ident:
+		return expr.Name
+	case *ast.SelectorExpr:
+		base := chainString(expr.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + expr.Sel.Name
+	case *ast.ParenExpr:
+		return chainString(expr.X)
+	}
+	return ""
+}
+
+// guarded reports whether the use of chain (at node `use`) is
+// dominated by a nil check, by walking the ancestor chain:
+//
+//   - inside the body of `if chain != nil` (as an &&-conjunct),
+//   - inside the else of `if chain == nil` (as an ||-disjunct),
+//   - right operand of `chain != nil && ...` / `chain == nil || ...`,
+//   - preceded, in any enclosing block, by `if chain == nil { return }`
+//     (or panic/branch) — the early-exit idiom.
+func guarded(use ast.Node, chain string, parents map[ast.Node]ast.Node) bool {
+	for cur := use; cur != nil; cur = parents[cur] {
+		switch p := parents[cur].(type) {
+		case *ast.IfStmt:
+			if cur == ast.Node(p.Body) && hasNonNilConjunct(p.Cond, chain) {
+				return true
+			}
+			if cur == p.Else && hasNilDisjunct(p.Cond, chain) {
+				return true
+			}
+		case *ast.BinaryExpr:
+			if cur == ast.Node(p.Y) {
+				if p.Op.String() == "&&" && hasNonNilConjunct(p.X, chain) {
+					return true
+				}
+				if p.Op.String() == "||" && hasNilDisjunct(p.X, chain) {
+					return true
+				}
+			}
+		case *ast.BlockStmt:
+			if stmt, ok := cur.(ast.Stmt); ok && earlyExitBefore(p, stmt, chain) {
+				return true
+			}
+		case *ast.FuncDecl:
+			return false
+			// Note: the walk deliberately crosses *ast.FuncLit
+			// boundaries — a nil check dominating the closure's creation
+			// dominates its body too, since the guarded expression is a
+			// receiver or field that does not change under the closure.
+		}
+	}
+	return false
+}
+
+// hasNonNilConjunct reports whether cond guarantees chain != nil when
+// cond is true: it is `chain != nil` or an && conjunction containing
+// it.
+func hasNonNilConjunct(cond ast.Expr, chain string) bool {
+	switch cond := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch cond.Op.String() {
+		case "&&":
+			return hasNonNilConjunct(cond.X, chain) || hasNonNilConjunct(cond.Y, chain)
+		case "!=":
+			return nilComparison(cond, chain)
+		}
+	}
+	return false
+}
+
+// hasNilDisjunct reports whether cond being false guarantees
+// chain != nil: it is `chain == nil` or an || disjunction containing
+// it.
+func hasNilDisjunct(cond ast.Expr, chain string) bool {
+	switch cond := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch cond.Op.String() {
+		case "||":
+			return hasNilDisjunct(cond.X, chain) || hasNilDisjunct(cond.Y, chain)
+		case "==":
+			return nilComparison(cond, chain)
+		}
+	}
+	return false
+}
+
+// nilComparison reports whether bin compares chain against nil.
+func nilComparison(bin *ast.BinaryExpr, chain string) bool {
+	x, y := chainString(bin.X), chainString(bin.Y)
+	return (x == chain && y == "nil") || (y == chain && x == "nil")
+}
+
+// earlyExitBefore reports whether a statement preceding `at` in block
+// is `if chain == nil { ...exit }` where the body cannot fall through.
+func earlyExitBefore(block *ast.BlockStmt, at ast.Stmt, chain string) bool {
+	for _, stmt := range block.List {
+		if stmt == at {
+			return false
+		}
+		ifStmt, ok := stmt.(*ast.IfStmt)
+		if !ok || ifStmt.Else != nil {
+			continue
+		}
+		if hasNilDisjunct(ifStmt.Cond, chain) && terminates(ifStmt.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a block's last statement leaves the
+// enclosing scope: return, panic, or a branch statement.
+func terminates(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"phasemon/internal/lint"
+	"phasemon/internal/lint/linttest"
+)
+
+func TestNilHub(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NilHubAnalyzer,
+		"nilhub", "nilhub_clean", "nilhub_contract")
+}

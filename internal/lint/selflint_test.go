@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"phasemon/internal/lint"
+)
+
+// TestRepoIsLintClean runs the full analyzer suite over the module the
+// way cmd/phasemonlint does and requires zero findings: the codebase
+// must satisfy its own invariants. This is the test-suite form of the
+// acceptance gate `go run ./cmd/phasemonlint ./...` exiting 0.
+func TestRepoIsLintClean(t *testing.T) {
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	for _, pkg := range pkgs {
+		for _, a := range lint.All() {
+			if a.Match != nil && !a.Match(pkg.PkgPath) {
+				continue
+			}
+			diags, err := lint.RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+			}
+		}
+	}
+}

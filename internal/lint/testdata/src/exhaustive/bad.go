@@ -1,0 +1,26 @@
+// Fixture: switches the exhaustive analyzer must flag.
+package exhaustive
+
+import (
+	"exhaustive/dvfs"
+	"exhaustive/phase"
+)
+
+func missingCases(c phase.Class) int {
+	switch c { // want `switch over phase.Class is not exhaustive: missing ClassUnknown, ClassMemoryBound`
+	case phase.ClassCPUBound:
+		return 1
+	case phase.ClassBalanced:
+		return 3
+	}
+	return 0
+}
+
+func emptyDefault(s dvfs.Setting) int {
+	switch s {
+	case dvfs.SpeedStepFast:
+		return 0
+	default: // want `switch over dvfs.Setting has an empty default`
+	}
+	return -1
+}

@@ -1,0 +1,10 @@
+// Fixture model of internal/dvfs's Setting enum.
+package dvfs
+
+type Setting int
+
+const (
+	SpeedStepFast Setting = iota
+	SpeedStepMid
+	SpeedStepSlow
+)

@@ -1,0 +1,11 @@
+// Fixture model of internal/phase's Class enum.
+package phase
+
+type Class uint8
+
+const (
+	ClassUnknown Class = iota
+	ClassCPUBound
+	ClassBalanced
+	ClassMemoryBound
+)

@@ -1,0 +1,59 @@
+// Fixture: switch forms the exhaustive analyzer must accept.
+package exhaustiveclean
+
+import (
+	"errors"
+
+	"exhaustive/dvfs"
+	"exhaustive/phase"
+)
+
+// full covers every declared constant; no default needed.
+func full(c phase.Class) int {
+	switch c {
+	case phase.ClassUnknown:
+		return -1
+	case phase.ClassCPUBound:
+		return 1
+	case phase.ClassBalanced:
+		return 3
+	case phase.ClassMemoryBound:
+		return 6
+	}
+	return 0
+}
+
+// partialWithRejectingDefault handles unknowns explicitly.
+func partialWithRejectingDefault(s dvfs.Setting) (int, error) {
+	switch s {
+	case dvfs.SpeedStepFast:
+		return 0, nil
+	default:
+		return 0, errors.New("unhandled setting")
+	}
+}
+
+// otherEnum is not in the enforced set; partial coverage is fine.
+type weekday int
+
+const (
+	monday weekday = iota
+	tuesday
+)
+
+func otherEnum(d weekday) bool {
+	switch d {
+	case monday:
+		return true
+	}
+	return false
+}
+
+// dynamicCase makes coverage undecidable; the analyzer stays silent.
+func dynamicCase(c, threshold phase.Class) bool {
+	switch c {
+	case threshold:
+		return true
+	}
+	return false
+}

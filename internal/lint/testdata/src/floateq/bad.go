@@ -1,0 +1,32 @@
+// Fixture: floating-point comparisons the floateq analyzer must flag,
+// plus the allowed zero-sentinel and //lint:floateq forms.
+package floateq
+
+type memPerUop float64
+
+func compare(a, b float64, f32 float32, m memPerUop) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if f32 != 2.5 { // want `floating-point != comparison`
+		return true
+	}
+	if m == 0.005 { // want `floating-point == comparison`
+		return true
+	}
+	return false
+}
+
+func allowed(a float64, m memPerUop) bool {
+	if a == 0 { // zero sentinel: exact by construction
+		return false
+	}
+	if m != 0.0 { // also a zero literal
+		return true
+	}
+	if a == 1.5 { //lint:floateq exactness intended here
+		return true
+	}
+	const x, y = 0.1, 0.2
+	return x+y == 0.3 // constant-folded at compile time, exact
+}

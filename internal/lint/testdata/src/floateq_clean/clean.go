@@ -1,0 +1,19 @@
+// Fixture: comparison idioms the floateq analyzer must accept.
+package floateqclean
+
+import "math"
+
+const tol = 1e-12
+
+// approxEqual is the sanctioned tolerance comparison.
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func ordering(a, b float64) bool {
+	return a < b || a > b // ordering comparisons are exact and fine
+}
+
+func ints(a, b int) bool {
+	return a == b // integer equality is not the analyzer's business
+}

@@ -1,0 +1,45 @@
+// Fixture: unguarded hub dereferences the nilhub analyzer must flag.
+package nilhub
+
+import "nilhub/telemetry"
+
+type monitor struct {
+	tel *telemetry.Hub
+}
+
+type config struct {
+	Telemetry *telemetry.Hub
+}
+
+type module struct {
+	cfg config
+}
+
+func (m *monitor) step() {
+	m.tel.Steps.Inc() // want `m.tel.Steps dereferences a \*telemetry.Hub without a dominating nil check`
+	m.tel.Record(1)   // want `m.tel.Record dereferences a \*telemetry.Hub without a dominating nil check`
+}
+
+func (m *monitor) wrongGuard(other *telemetry.Hub) {
+	if other != nil {
+		m.tel.Steps.Inc() // want `m.tel.Steps dereferences a \*telemetry.Hub without a dominating nil check`
+	}
+}
+
+func (m *monitor) guardDoesNotEscapeLoop() {
+	if m.tel == nil {
+		// No return: execution falls through, so nothing is dominated.
+		_ = m
+	}
+	m.tel.Steps.Inc() // want `m.tel.Steps dereferences a \*telemetry.Hub without a dominating nil check`
+}
+
+func (mod *module) nested() {
+	mod.cfg.Telemetry.Record(2) // want `mod.cfg.Telemetry.Record dereferences a \*telemetry.Hub without a dominating nil check`
+}
+
+func hub() *telemetry.Hub { return nil }
+
+func (m *monitor) nonTrivial() {
+	hub().Steps.Inc() // want `\*telemetry.Hub reached through a non-trivial expression`
+}

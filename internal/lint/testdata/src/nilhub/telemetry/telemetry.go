@@ -1,0 +1,27 @@
+// Fixture model of internal/telemetry: a nil-safe Hub with atomic
+// instruments.
+package telemetry
+
+import "sync/atomic"
+
+type Counter struct {
+	v atomic.Uint64
+}
+
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+type Hub struct {
+	Steps  *Counter
+	Events *Counter
+}
+
+func (h *Hub) Record(step int) {
+	if h == nil {
+		return
+	}
+	h.Steps.Inc()
+}

@@ -1,0 +1,68 @@
+// Fixture: every guard form the nilhub analyzer must accept.
+package nilhubclean
+
+import "nilhub/telemetry"
+
+type monitor struct {
+	tel *telemetry.Hub
+}
+
+type config struct {
+	Telemetry *telemetry.Hub
+}
+
+type module struct {
+	cfg config
+}
+
+func (m *monitor) enclosingIf() {
+	if m.tel != nil {
+		m.tel.Steps.Inc()
+		m.tel.Record(1)
+	}
+}
+
+func (m *monitor) earlyReturn() {
+	if m.tel == nil {
+		return
+	}
+	m.tel.Steps.Inc()
+}
+
+func (m *monitor) shortCircuit() bool {
+	return m.tel != nil && m.tel.Steps != nil
+}
+
+func (m *monitor) elseBranch() {
+	if m.tel == nil {
+		_ = m
+	} else {
+		m.tel.Steps.Inc()
+	}
+}
+
+func (m *monitor) conjunction(enabled bool) {
+	if enabled && m.tel != nil {
+		m.tel.Record(3)
+	}
+}
+
+func (mod *module) alias() {
+	if tel := mod.cfg.Telemetry; tel != nil {
+		tel.Record(2)
+		tel.Events.Inc()
+	}
+}
+
+func (m *monitor) closureAfterGuard() func() {
+	if m.tel == nil {
+		return func() {}
+	}
+	return func() { m.tel.Steps.Inc() }
+}
+
+// free functions are outside the check: wiring code passes hubs
+// around without dereferencing them.
+func wire(m *monitor, h *telemetry.Hub) {
+	m.tel = h
+}

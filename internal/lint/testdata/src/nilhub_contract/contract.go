@@ -1,0 +1,59 @@
+// Fixture: the telemetry-package one-branch contract and atomic-state
+// rules (the package is named telemetry, so both apply).
+package telemetry
+
+import "sync/atomic"
+
+type Counter struct {
+	v atomic.Uint64
+	n uint64 // want `instrument field Counter.n is plain uint64`
+}
+
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Bad: exported method dereferencing an unguarded receiver.
+func (c *Counter) Reset() {
+	c.v.Store(0) // want `exported method Reset dereferences receiver c without a nil check`
+}
+
+// Value is fine: early return establishes the guard.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// reset is unexported: callers inside the package guard first.
+func (c *Counter) reset() {
+	c.v.Store(0)
+}
+
+type Gauge struct {
+	bits atomic.Uint64
+	// scale is set once at construction and never written again.
+	scale float64 //lint:immutable
+}
+
+func (g *Gauge) Set(v uint64) {
+	if g != nil {
+		g.bits.Store(v)
+	}
+}
+
+// Hub is an instrument by name even without atomic fields.
+type Hub struct {
+	samples int // want `instrument field Hub.samples is plain int`
+	Gauge   *Gauge
+}
+
+// journal is mutex-style state, not an instrument: no atomic fields
+// and not an instrument name, so plain counters are fine here.
+type journal struct {
+	seq     uint64
+	dropped uint64
+}

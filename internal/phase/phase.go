@@ -137,10 +137,11 @@ func (t *Table) Classify(s Sample) ID {
 		return 1
 	}
 	// sort.SearchFloat64s returns the number of boundaries <= m when m
-	// equals a boundary; ranges are [lo, hi), so a sample exactly on a
-	// boundary belongs to the higher phase.
+	// equals a boundary; ranges are [lo, hi), so a sample on a boundary
+	// (within tolerance — the sample may have gone through different
+	// arithmetic than the table) belongs to the higher phase.
 	i := sort.SearchFloat64s(t.bounds, m)
-	if i < len(t.bounds) && t.bounds[i] == m {
+	if i < len(t.bounds) && ApproxEqual(t.bounds[i], m) {
 		i++
 	}
 	return ID(i + 1)
@@ -273,7 +274,7 @@ func (t *UPCTable) Classify(s Sample) ID {
 		u = 0
 	}
 	i := sort.SearchFloat64s(t.bounds, u)
-	if i < len(t.bounds) && t.bounds[i] == u {
+	if i < len(t.bounds) && ApproxEqual(t.bounds[i], u) {
 		i++
 	}
 	// i boundaries are <= u; invert so high UPC -> phase 1.

@@ -16,7 +16,14 @@ import (
 //
 // The handler only reads hub state through the same synchronized
 // paths writers use, so it is safe to serve while a run is in flight.
+// On a nil hub every route answers 503, honoring the package contract
+// that a nil *Hub is usable everywhere.
 func (h *Hub) Handler() http.Handler {
+	if h == nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "telemetry disabled (nil hub)", http.StatusServiceUnavailable)
+		})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if !methodIsGet(w, r) {

@@ -84,7 +84,7 @@ type Hub struct {
 	// predicted, index 0 = None/out-of-range), so scoring a verdict
 	// costs one atomic add. Snapshots materialize it into a
 	// stats.Confusion and reuse that type's export paths.
-	numPhases int
+	numPhases int //lint:immutable set once in NewHub, read-only afterwards
 	conf      []atomic.Uint64
 }
 
