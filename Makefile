@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all build test test-short check lint race bench experiments extensions csv clean
+.PHONY: all build test test-short check lint fleet-race race bench experiments extensions csv clean
 
 all: build test
 
@@ -25,10 +25,19 @@ else
 	@echo "staticcheck not found; skipping (CI runs $(STATICCHECK_VERSION))"
 endif
 
-# The strict gate: lint plus the full suite under the race detector.
-# The telemetry hot paths are lock-free atomics shared with HTTP
-# readers, so -race is part of the default bar, not an extra.
-check: lint
+# The fleet engine's determinism contract (bit-identical results at
+# any worker count) is the most concurrency-sensitive surface in the
+# repo: run it and the governor it drives under the race detector
+# uncached, so a schedule-dependent bug can't hide behind the test
+# cache.
+fleet-race:
+	$(GO) test -race -count=1 ./internal/fleet ./internal/governor
+
+# The strict gate: lint, the fleet determinism suite, then the full
+# suite under the race detector. The telemetry hot paths are lock-free
+# atomics shared with HTTP readers, so -race is part of the default
+# bar, not an extra.
+check: lint fleet-race
 	$(GO) test -race ./...
 
 test: check

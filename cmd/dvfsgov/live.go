@@ -42,12 +42,11 @@ func runLive(dur, period time.Duration, pid, depth, entries int, telemetryAddr s
 	if err != nil {
 		return err
 	}
-	mon, err := core.NewMonitor(cls, pred)
+	hub := telemetry.NewHub(cls.NumPhases())
+	mon, err := core.NewMonitor(cls, pred, core.WithTelemetry(hub))
 	if err != nil {
 		return err
 	}
-	hub := telemetry.NewHub(cls.NumPhases())
-	mon.SetTelemetry(hub)
 	if telemetryAddr != "" {
 		bound, shutdown, err := hub.Serve(telemetryAddr)
 		if err != nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,8 +19,8 @@ import (
 
 	"phasemon/internal/cpusim"
 	"phasemon/internal/dvfs"
+	"phasemon/internal/fleet"
 	"phasemon/internal/governor"
-	"phasemon/internal/machine"
 	"phasemon/internal/phase"
 	"phasemon/internal/telemetry"
 	"phasemon/internal/workload"
@@ -28,7 +29,8 @@ import (
 func main() {
 	var (
 		bench     = flag.String("bench", "applu_in", "benchmark name")
-		policy    = flag.String("policy", "gpht", "management policy: gpht, reactive, oracle")
+		policy    = flag.String("policy", "gpht", "management policy: gpht, reactive, oracle, or any predictor spec (e.g. gpht_8_1024, fixwindow_8)")
+		workers   = flag.Int("workers", 0, "concurrent runs in compare mode (0 = GOMAXPROCS)")
 		depth     = flag.Int("depth", 8, "GPHT history depth")
 		entries   = flag.Int("entries", 128, "GPHT pattern-table entries")
 		intervals = flag.Int("intervals", 0, "run length in sampling intervals (0 = benchmark default)")
@@ -51,7 +53,7 @@ func main() {
 		return
 	}
 
-	if err := run(*bench, *policy, *depth, *entries, *intervals, *seed, *compare, *bound, *telAddr); err != nil {
+	if err := run(*bench, *policy, *depth, *entries, *intervals, *seed, *compare, *bound, *telAddr, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsgov:", err)
 		os.Exit(1)
 	}
@@ -73,12 +75,11 @@ func startTelemetry(addr string, numPhases int) (*telemetry.Hub, func(), error) 
 	return hub, shutdown, nil
 }
 
-func run(bench, policy string, depth, entries, intervals int, seed int64, compare bool, bound float64, telemetryAddr string) error {
+func run(bench, policy string, depth, entries, intervals int, seed int64, compare bool, bound float64, telemetryAddr string, workers int) error {
 	prof, err := workload.ByName(bench)
 	if err != nil {
 		return err
 	}
-	gen := prof.Generator(workload.Params{Seed: seed, Intervals: intervals})
 
 	hub, stopTel, err := startTelemetry(telemetryAddr, phase.Default().NumPhases())
 	if err != nil {
@@ -86,8 +87,9 @@ func run(bench, policy string, depth, entries, intervals int, seed int64, compar
 	}
 	defer stopTel()
 
-	cfg := governor.Config{Telemetry: hub}
 	if bound > 0 {
+		// The fleet engine derives the same conservative translation per
+		// run from Spec.Bound; derive it here once more only to print it.
 		model := cpusim.New(cpusim.DefaultConfig())
 		slow := func(mem, coreUPC, f, fmax float64) float64 {
 			return model.SlowdownMLP(mem, coreUPC, 2.0, f, fmax)
@@ -96,36 +98,47 @@ func run(bench, policy string, depth, entries, intervals int, seed int64, compar
 		if err != nil {
 			return err
 		}
-		cfg.Translation = tr
 		fmt.Printf("conservative translation for a %.0f%% degradation bound:\n%s\n",
 			bound*100, tr.Describe(phase.Default()))
 	}
 
-	pols := []governor.Policy{governor.Unmanaged()}
+	polSpecs := []string{"baseline"}
 	switch {
 	case compare:
-		pols = append(pols, governor.Reactive(), governor.Proactive(depth, entries))
+		polSpecs = append(polSpecs, "reactive", fmt.Sprintf("gpht_%d_%d", depth, entries))
 	case policy == "gpht":
-		pols = append(pols, governor.Proactive(depth, entries))
+		polSpecs = append(polSpecs, fmt.Sprintf("gpht_%d_%d", depth, entries))
 	case policy == "reactive":
-		pols = append(pols, governor.Reactive())
+		polSpecs = append(polSpecs, "reactive")
 	case policy == "oracle":
-		future, err := governor.FuturePhases(gen, nil, machine.New(machine.Config{}))
-		if err != nil {
-			return err
-		}
-		pols = append(pols, governor.Oracle(future))
+		polSpecs = append(polSpecs, "oracle")
 	default:
-		return fmt.Errorf("unknown policy %q (gpht, reactive, oracle)", policy)
+		// Accept any predictor spec the registry knows; reject the rest
+		// before dispatching the sweep.
+		if _, err := governor.PolicyFromSpec(policy); err != nil {
+			return fmt.Errorf("unknown policy %q (gpht, reactive, oracle, or a predictor spec): %w", policy, err)
+		}
+		polSpecs = append(polSpecs, policy)
 	}
 
-	results := make([]*governor.Result, len(pols))
-	for i, p := range pols {
-		r, err := governor.Run(gen, p, cfg)
-		if err != nil {
-			return err
+	specs := make([]fleet.Spec, len(polSpecs))
+	for i, ps := range polSpecs {
+		specs[i] = fleet.Spec{
+			Workload:  bench,
+			Policy:    ps,
+			Intervals: intervals,
+			Seed:      seed,
+			Bound:     bound,
 		}
-		results[i] = r
+	}
+	engine := fleet.New(fleet.Config{Workers: workers, Telemetry: hub})
+	runs, err := engine.RunAll(context.Background(), specs)
+	if err != nil {
+		return err
+	}
+	results := make([]*governor.Result, len(runs))
+	for i, r := range runs {
+		results[i] = r.Res
 	}
 
 	base := results[0]

@@ -8,32 +8,32 @@ import (
 
 func TestRunPolicies(t *testing.T) {
 	for _, policy := range []string{"gpht", "reactive", "oracle"} {
-		if err := run("applu_in", policy, 8, 128, 40, 1, false, 0, ""); err != nil {
+		if err := run("applu_in", policy, 8, 128, 40, 1, false, 0, "", 0); err != nil {
 			t.Errorf("policy %s: %v", policy, err)
 		}
 	}
 }
 
 func TestRunCompareMode(t *testing.T) {
-	if err := run("swim_in", "gpht", 8, 128, 40, 1, true, 0, ""); err != nil {
+	if err := run("swim_in", "gpht", 8, 128, 40, 1, true, 0, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBoundedMode(t *testing.T) {
-	if err := run("applu_in", "gpht", 8, 128, 40, 1, false, 0.05, ""); err != nil {
+	if err := run("applu_in", "gpht", 8, 128, 40, 1, false, 0.05, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("no_such", "gpht", 8, 128, 10, 1, false, 0, ""); err == nil {
+	if err := run("no_such", "gpht", 8, 128, 10, 1, false, 0, "", 0); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run("applu_in", "bogus", 8, 128, 10, 1, false, 0, ""); err == nil {
+	if err := run("applu_in", "bogus", 8, 128, 10, 1, false, 0, "", 0); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if err := run("applu_in", "gpht", 0, 128, 10, 1, false, 0, ""); err == nil {
+	if err := run("applu_in", "gpht", 0, 128, 10, 1, false, 0, "", 0); err == nil {
 		t.Error("invalid GPHT geometry accepted")
 	}
 }

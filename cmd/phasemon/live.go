@@ -27,11 +27,10 @@ func runLive(pred core.Predictor, dur, period time.Duration, pid int, withLoad b
 	}
 	defer g.Close()
 
-	mon, err := core.NewMonitor(phase.Default(), pred)
+	mon, err := core.NewMonitor(phase.Default(), pred, core.WithTelemetry(hub))
 	if err != nil {
 		return err
 	}
-	mon.SetTelemetry(hub)
 
 	stop := make(chan struct{})
 	samples, err := g.Samples(stop, period)

@@ -93,8 +93,9 @@ type GPHT struct {
 
 var _ Predictor = (*GPHT)(nil)
 
-// NewGPHT builds the predictor.
-func NewGPHT(cfg GPHTConfig) (*GPHT, error) {
+// NewGPHT builds the predictor. WithTelemetry attaches a hub at
+// construction.
+func NewGPHT(cfg GPHTConfig, opts ...Option) (*GPHT, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,13 +107,14 @@ func NewGPHT(cfg GPHTConfig) (*GPHT, error) {
 		index:    make(map[uint64]int, cfg.PHTEntries),
 		lastSlot: -1,
 	}
+	g.tel = applyOptions(opts).tel
 	return g, nil
 }
 
 // MustNewGPHT is NewGPHT that panics on config errors; for defaults
 // and tests.
-func MustNewGPHT(cfg GPHTConfig) *GPHT {
-	g, err := NewGPHT(cfg)
+func MustNewGPHT(cfg GPHTConfig, opts ...Option) *GPHT {
+	g, err := NewGPHT(cfg, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -137,6 +139,10 @@ func (g *GPHT) Misses() uint64 { return g.misses }
 
 // SetTelemetry attaches a telemetry hub; PHT lookup outcomes are then
 // mirrored into its hit/miss counters. Nil detaches.
+//
+// Deprecated: pass WithTelemetry(h) to NewGPHT instead. The setter
+// keeps working for monitors that forward a hub to an already-built
+// predictor.
 func (g *GPHT) SetTelemetry(h *telemetry.Hub) { g.tel = h }
 
 // Observe implements Predictor: it trains the previously consulted PHT

@@ -36,7 +36,16 @@ type telemetrySetter interface {
 // SetTelemetry attaches a telemetry hub to the monitor (and to the
 // predictor, if it supports one). A nil hub detaches: unobserved runs
 // pay a single branch per Step.
-func (m *Monitor) SetTelemetry(h *telemetry.Hub) {
+//
+// Deprecated: pass WithTelemetry(h) to NewMonitor instead, so the
+// wiring is fixed at construction. The setter keeps working for
+// callers that receive an already-built monitor (the kernel module's
+// Load path).
+func (m *Monitor) SetTelemetry(h *telemetry.Hub) { m.attachTelemetry(h) }
+
+// attachTelemetry is the shared implementation behind WithTelemetry
+// and the deprecated setter.
+func (m *Monitor) attachTelemetry(h *telemetry.Hub) {
 	m.tel = h
 	if ts, ok := m.pred.(telemetrySetter); ok {
 		ts.SetTelemetry(h)
@@ -44,7 +53,8 @@ func (m *Monitor) SetTelemetry(h *telemetry.Hub) {
 }
 
 // NewMonitor builds a monitor around a classifier and predictor.
-func NewMonitor(cls phase.Classifier, pred Predictor) (*Monitor, error) {
+// WithTelemetry attaches a hub at construction.
+func NewMonitor(cls phase.Classifier, pred Predictor, opts ...Option) (*Monitor, error) {
 	if cls == nil || pred == nil {
 		return nil, fmt.Errorf("core: monitor needs a classifier and a predictor")
 	}
@@ -52,7 +62,11 @@ func NewMonitor(cls phase.Classifier, pred Predictor) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Monitor{cls: cls, pred: pred, confusion: conf}, nil
+	m := &Monitor{cls: cls, pred: pred, confusion: conf}
+	if o := applyOptions(opts); o.tel != nil {
+		m.attachTelemetry(o.tel)
+	}
+	return m, nil
 }
 
 // Classifier returns the monitor's classifier.

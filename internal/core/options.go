@@ -1,0 +1,31 @@
+package core
+
+import "phasemon/internal/telemetry"
+
+// Option configures a constructor in this package. Options replace the
+// post-hoc Set* mutators: observation wiring is decided when the
+// component is built, so a constructed monitor or predictor never
+// changes observability mid-run.
+type Option func(*options)
+
+type options struct {
+	tel *telemetry.Hub
+}
+
+// WithTelemetry attaches a telemetry hub at construction time. A nil
+// hub is the default and means unobserved (every instrument site pays
+// one predictable branch). The same option value is accepted by every
+// constructor in this package that supports observation.
+func WithTelemetry(h *telemetry.Hub) Option {
+	return func(o *options) { o.tel = h }
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"phasemon/internal/phase"
+)
+
+// PredictorSpec is a parsed predictor description: a canonical family
+// kind plus its positional arguments. Specs are the single
+// construction surface shared by the CLIs, the experiment sweeps, and
+// the fleet engine, replacing the per-command construction switches:
+// every predictor the repo knows is reachable through one parseable
+// string.
+//
+// The string grammar mirrors the paper's predictor labels: tokens
+// separated by underscores, the first naming the family
+// (case-insensitive), the rest family-specific arguments. Examples:
+//
+//	lastvalue
+//	gpht            (deployed geometry: depth 8, 128 entries)
+//	gpht_8_1024
+//	gpht_8_128_hyst
+//	fixwindow_8
+//	fixwindow_128_mean
+//	varwindow_128_0.005
+//	duration
+//	duration_0.5
+//	oracle
+type PredictorSpec struct {
+	// Kind is the canonical lowercase family name ("gpht",
+	// "lastvalue", "fixwindow", "varwindow", "duration", "oracle", or
+	// any externally registered kind).
+	Kind string
+	// Args are the underscore-separated positional arguments after the
+	// kind token.
+	Args []string
+}
+
+// String renders the spec back into its parseable form.
+func (s PredictorSpec) String() string {
+	if len(s.Args) == 0 {
+		return s.Kind
+	}
+	return s.Kind + "_" + strings.Join(s.Args, "_")
+}
+
+// SpecEnv supplies the run context a builder may need beyond the spec
+// string itself: the classifier in effect (for predictors that
+// re-classify smoothed samples) and, for the oracle, the recorded
+// future. The zero value is valid and selects the paper's defaults.
+type SpecEnv struct {
+	// Classifier is the phase classifier of the run. Nil selects
+	// phase.Default() (the paper's Table 1).
+	Classifier phase.Classifier
+	// NumPhases bounds phase IDs when Classifier is nil; 0 selects the
+	// classifier's count (6 for the default table).
+	NumPhases int
+	// Future is the recorded phase trace an oracle predictor replays.
+	// Ignored by every other builder.
+	Future []phase.ID
+}
+
+// ClassifierOrDefault resolves the environment's classifier.
+func (e SpecEnv) ClassifierOrDefault() phase.Classifier {
+	if e.Classifier != nil {
+		return e.Classifier
+	}
+	return phase.Default()
+}
+
+// PhaseCount resolves the phase count builders should size tables for.
+func (e SpecEnv) PhaseCount() int {
+	if e.Classifier != nil {
+		return e.Classifier.NumPhases()
+	}
+	if e.NumPhases > 0 {
+		return e.NumPhases
+	}
+	return phase.Default().NumPhases()
+}
+
+// PredictorBuilder constructs a predictor from a parsed spec and its
+// environment.
+type PredictorBuilder func(spec PredictorSpec, env SpecEnv) (Predictor, error)
+
+var (
+	specMu       sync.RWMutex
+	specRegistry = map[string]PredictorBuilder{}
+	// specAliases maps accepted kind spellings (lowercase) onto the
+	// canonical registered kind.
+	specAliases = map[string]string{
+		"lv":     "lastvalue",
+		"fixwin": "fixwindow",
+		"fw":     "fixwindow",
+		"varwin": "varwindow",
+		"vw":     "varwindow",
+		"dur":    "duration",
+	}
+)
+
+// RegisterPredictor adds a predictor family to the spec registry under
+// the given canonical kind (lowercased). It panics on an empty kind or
+// a duplicate registration — both are programmer errors at package
+// init time, matching the expvar/gob registration convention.
+func RegisterPredictor(kind string, b PredictorBuilder) {
+	kind = strings.ToLower(strings.TrimSpace(kind))
+	if kind == "" {
+		panic("core: RegisterPredictor with empty kind")
+	}
+	if b == nil {
+		panic("core: RegisterPredictor with nil builder for " + kind)
+	}
+	specMu.Lock()
+	defer specMu.Unlock()
+	if _, dup := specRegistry[kind]; dup {
+		panic("core: RegisterPredictor called twice for " + kind)
+	}
+	specRegistry[kind] = b
+}
+
+// RegisteredPredictors returns the canonical kinds in sorted order.
+func RegisteredPredictors() []string {
+	specMu.RLock()
+	defer specMu.RUnlock()
+	out := make([]string, 0, len(specRegistry))
+	for k := range specRegistry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParsePredictorSpec splits a spec string into its kind and arguments,
+// resolving aliases and the paper's mixed-case labels ("GPHT_8_1024",
+// "LastValue", "FixWindow_128", "VarWindow_128_0.005").
+func ParsePredictorSpec(s string) (PredictorSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return PredictorSpec{}, fmt.Errorf("core: empty predictor spec")
+	}
+	tokens := strings.Split(s, "_")
+	kind := strings.ToLower(tokens[0])
+	if canonical, ok := specAliases[kind]; ok {
+		kind = canonical
+	}
+	specMu.RLock()
+	_, known := specRegistry[kind]
+	specMu.RUnlock()
+	if !known {
+		return PredictorSpec{}, fmt.Errorf("core: unknown predictor kind %q in spec %q (known: %s)",
+			kind, s, strings.Join(RegisteredPredictors(), ", "))
+	}
+	return PredictorSpec{Kind: kind, Args: tokens[1:]}, nil
+}
+
+// NewPredictorFromSpec parses the spec string and builds the predictor
+// through the registry — the single entry point replacing the bespoke
+// construction switches that used to live in each command.
+func NewPredictorFromSpec(s string, env SpecEnv) (Predictor, error) {
+	spec, err := ParsePredictorSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	specMu.RLock()
+	b := specRegistry[spec.Kind]
+	specMu.RUnlock()
+	if b == nil {
+		// Unreachable: ParsePredictorSpec verified registration.
+		return nil, fmt.Errorf("core: predictor kind %q not registered", spec.Kind)
+	}
+	p, err := b(spec, env)
+	if err != nil {
+		return nil, fmt.Errorf("core: building %q: %w", s, err)
+	}
+	return p, nil
+}
+
+// --- built-in builders ---------------------------------------------
+
+func init() {
+	RegisterPredictor("lastvalue", buildLastValue)
+	RegisterPredictor("gpht", buildGPHTSpec)
+	RegisterPredictor("fixwindow", buildFixedWindowSpec)
+	RegisterPredictor("varwindow", buildVariableWindowSpec)
+	RegisterPredictor("duration", buildDurationSpec)
+	RegisterPredictor("oracle", buildOracleSpec)
+}
+
+func buildLastValue(spec PredictorSpec, _ SpecEnv) (Predictor, error) {
+	if len(spec.Args) > 0 {
+		return nil, fmt.Errorf("lastvalue takes no arguments, got %v", spec.Args)
+	}
+	return NewLastValue(), nil
+}
+
+// buildGPHTSpec accepts gpht[_depth[_entries[_hyst]]]; omitted
+// geometry falls back to the deployed configuration (8, 128).
+func buildGPHTSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
+	cfg := DefaultGPHTConfig()
+	cfg.NumPhases = env.PhaseCount()
+	args := spec.Args
+	if n := len(args); n > 0 && args[n-1] == "hyst" {
+		cfg.Hysteresis = true
+		args = args[:n-1]
+	}
+	if len(args) > 2 {
+		return nil, fmt.Errorf("gpht takes at most depth, entries and 'hyst', got %v", spec.Args)
+	}
+	if len(args) > 0 {
+		d, err := strconv.Atoi(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("gpht depth %q: %w", args[0], err)
+		}
+		cfg.GPHRDepth = d
+	}
+	if len(args) > 1 {
+		e, err := strconv.Atoi(args[1])
+		if err != nil {
+			return nil, fmt.Errorf("gpht entries %q: %w", args[1], err)
+		}
+		cfg.PHTEntries = e
+	}
+	return NewGPHT(cfg)
+}
+
+// buildFixedWindowSpec accepts fixwindow[_size[_mode]] with mode one
+// of majority (default), mean, ema.
+func buildFixedWindowSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
+	size := 128
+	mode := ModeMajority
+	if len(spec.Args) > 2 {
+		return nil, fmt.Errorf("fixwindow takes at most size and mode, got %v", spec.Args)
+	}
+	if len(spec.Args) > 0 {
+		n, err := strconv.Atoi(spec.Args[0])
+		if err != nil {
+			return nil, fmt.Errorf("fixwindow size %q: %w", spec.Args[0], err)
+		}
+		size = n
+	}
+	if len(spec.Args) > 1 {
+		switch strings.ToLower(spec.Args[1]) {
+		case "majority":
+			mode = ModeMajority
+		case "mean":
+			mode = ModeMean
+		case "ema":
+			mode = ModeEMA
+		default:
+			return nil, fmt.Errorf("fixwindow mode %q (majority, mean, ema)", spec.Args[1])
+		}
+	}
+	return NewFixedWindow(size, mode, env.ClassifierOrDefault())
+}
+
+// buildVariableWindowSpec accepts varwindow[_size[_threshold]]; the
+// defaults are the paper's 128-entry window with threshold 0.005.
+func buildVariableWindowSpec(spec PredictorSpec, _ SpecEnv) (Predictor, error) {
+	size, threshold := 128, 0.005
+	if len(spec.Args) > 2 {
+		return nil, fmt.Errorf("varwindow takes at most size and threshold, got %v", spec.Args)
+	}
+	if len(spec.Args) > 0 {
+		n, err := strconv.Atoi(spec.Args[0])
+		if err != nil {
+			return nil, fmt.Errorf("varwindow size %q: %w", spec.Args[0], err)
+		}
+		size = n
+	}
+	if len(spec.Args) > 1 {
+		t, err := strconv.ParseFloat(spec.Args[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("varwindow threshold %q: %w", spec.Args[1], err)
+		}
+		threshold = t
+	}
+	return NewVariableWindow(size, threshold)
+}
+
+// buildDurationSpec accepts duration[_alpha] with alpha the EMA
+// smoothing in (0, 1]; omitted selects the 0.25 default.
+func buildDurationSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
+	alpha := 0.0
+	if len(spec.Args) > 1 {
+		return nil, fmt.Errorf("duration takes at most an alpha, got %v", spec.Args)
+	}
+	if len(spec.Args) > 0 {
+		a, err := strconv.ParseFloat(spec.Args[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("duration alpha %q: %w", spec.Args[0], err)
+		}
+		alpha = a
+	}
+	return NewDurationPredictor(env.PhaseCount(), alpha)
+}
+
+// buildOracleSpec replays env.Future. An empty future is legal — the
+// oracle then degrades to last-value, exactly as NewOracle documents —
+// so specs stay constructible in contexts that validate before the
+// trace exists.
+func buildOracleSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
+	if len(spec.Args) > 0 {
+		return nil, fmt.Errorf("oracle takes no arguments, got %v", spec.Args)
+	}
+	return NewOracle(env.Future), nil
+}

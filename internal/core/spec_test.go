@@ -1,0 +1,209 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"phasemon/internal/phase"
+	"phasemon/internal/telemetry"
+)
+
+func TestParsePredictorSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		kind    string
+		args    int
+		wantErr bool
+		errFrag string
+	}{
+		{in: "gpht", kind: "gpht"},
+		{in: "GPHT_8_1024", kind: "gpht", args: 2},
+		{in: "gpht_8_128_hyst", kind: "gpht", args: 3},
+		{in: "LastValue", kind: "lastvalue"},
+		{in: "lv", kind: "lastvalue"},
+		{in: "FixWindow_128", kind: "fixwindow", args: 1},
+		{in: "fw_8", kind: "fixwindow", args: 1},
+		{in: "VarWindow_128_0.005", kind: "varwindow", args: 2},
+		{in: "vw_64", kind: "varwindow", args: 1},
+		{in: "dur_0.5", kind: "duration", args: 1},
+		{in: "oracle", kind: "oracle"},
+		{in: "", wantErr: true, errFrag: "empty"},
+		{in: "perceptron", wantErr: true, errFrag: "unknown predictor kind"},
+	}
+	for _, c := range cases {
+		spec, err := ParsePredictorSpec(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParsePredictorSpec(%q): want error, got %+v", c.in, spec)
+			} else if !strings.Contains(err.Error(), c.errFrag) {
+				t.Errorf("ParsePredictorSpec(%q): error %q missing %q", c.in, err, c.errFrag)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePredictorSpec(%q): %v", c.in, err)
+			continue
+		}
+		if spec.Kind != c.kind || len(spec.Args) != c.args {
+			t.Errorf("ParsePredictorSpec(%q) = %+v, want kind %q with %d args", c.in, spec, c.kind, c.args)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := PredictorSpec{Kind: "gpht", Args: []string{"8", "128"}}
+	if got := s.String(); got != "gpht_8_128" {
+		t.Errorf("String() = %q, want gpht_8_128", got)
+	}
+	if got := (PredictorSpec{Kind: "oracle"}).String(); got != "oracle" {
+		t.Errorf("String() = %q, want oracle", got)
+	}
+}
+
+func TestNewPredictorFromSpecNames(t *testing.T) {
+	// The registry must rebuild the exact predictors the bespoke
+	// constructors produced, verified through their report names.
+	cases := map[string]string{
+		"lastvalue":          "LastValue",
+		"gpht":               "GPHT_8_128",
+		"gpht_4_1024":        "GPHT_4_1024",
+		"gpht_4_64_hyst":     "GPHT_4_64",
+		"fixwindow":          "FixWindow_128",
+		"fixwindow_8":        "FixWindow_8",
+		"fixwindow_8_mean":   "FixWindow_8",
+		"varwindow":          "VarWindow_128_0.005",
+		"varwindow_64_0.030": "VarWindow_64_0.030",
+		"duration":           "Duration",
+		"duration_0.5":       "Duration",
+		"oracle":             "Oracle",
+	}
+	for in, want := range cases {
+		p, err := NewPredictorFromSpec(in, SpecEnv{})
+		if err != nil {
+			t.Errorf("NewPredictorFromSpec(%q): %v", in, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("NewPredictorFromSpec(%q).Name() = %q, want %q", in, p.Name(), want)
+		}
+	}
+}
+
+func TestNewPredictorFromSpecErrors(t *testing.T) {
+	bad := []string{
+		"gpht_0",            // depth out of range
+		"gpht_8_0",          // entries out of range
+		"gpht_x",            // non-numeric depth
+		"gpht_8_128_17_zzz", // too many args
+		"lastvalue_1",       // takes no args
+		"fixwindow_0",       // size out of range
+		"fixwindow_8_wavelet",
+		"varwindow_8_nope",
+		"duration_2.5", // alpha out of (0,1]
+		"oracle_now",
+	}
+	for _, in := range bad {
+		if _, err := NewPredictorFromSpec(in, SpecEnv{}); err == nil {
+			t.Errorf("NewPredictorFromSpec(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestSpecEnvClassifier(t *testing.T) {
+	// A spec-built GPHT must size its table to the environment's
+	// classifier, not the default.
+	tab, err := phase.NewTable("two", []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictorFromSpec("gpht", SpecEnv{Classifier: tab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.(*GPHT).Config().NumPhases; got != 2 {
+		t.Errorf("NumPhases = %d, want 2 (from env classifier)", got)
+	}
+	// NumPhases alone works too.
+	p, err = NewPredictorFromSpec("gpht", SpecEnv{NumPhases: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.(*GPHT).Config().NumPhases; got != 3 {
+		t.Errorf("NumPhases = %d, want 3", got)
+	}
+}
+
+func TestRegisterPredictorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty kind", func() { RegisterPredictor("", buildLastValue) })
+	mustPanic("nil builder", func() { RegisterPredictor("novel", nil) })
+	mustPanic("duplicate", func() { RegisterPredictor("gpht", buildLastValue) })
+}
+
+func TestRegisteredPredictorsSorted(t *testing.T) {
+	kinds := RegisteredPredictors()
+	want := []string{"duration", "fixwindow", "gpht", "lastvalue", "oracle", "varwindow"}
+	if len(kinds) < len(want) {
+		t.Fatalf("RegisteredPredictors() = %v, want at least %v", kinds, want)
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Fatalf("RegisteredPredictors() not sorted: %v", kinds)
+		}
+	}
+	set := map[string]bool{}
+	for _, k := range kinds {
+		set[k] = true
+	}
+	for _, k := range want {
+		if !set[k] {
+			t.Errorf("built-in kind %q missing from registry", k)
+		}
+	}
+}
+
+func TestWithTelemetryOption(t *testing.T) {
+	hub := telemetry.NewHub(6)
+	g := MustNewGPHT(DefaultGPHTConfig(), WithTelemetry(hub))
+	mon, err := NewMonitor(phase.Default(), g, WithTelemetry(hub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Step(phase.Sample{MemPerUop: 0.001, UPC: 1.0})
+	mon.Step(phase.Sample{MemPerUop: 0.001, UPC: 1.0})
+	if hub.Steps.Value() != 2 {
+		t.Errorf("Steps = %d, want 2 (option did not attach the hub)", hub.Steps.Value())
+	}
+	if hub.GPHTHits.Value()+hub.GPHTMisses.Value() == 0 {
+		t.Error("GPHT lookups unobserved; WithTelemetry did not reach the predictor")
+	}
+}
+
+func TestWithTelemetryViaMonitorForwards(t *testing.T) {
+	// Attaching through the monitor alone must still reach the
+	// predictor, exactly as the deprecated setter did.
+	hub := telemetry.NewHub(6)
+	g := MustNewGPHT(DefaultGPHTConfig())
+	mon, err := NewMonitor(phase.Default(), g, WithTelemetry(hub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Step(phase.Sample{MemPerUop: 0.001, UPC: 1.0})
+	if hub.GPHTHits.Value()+hub.GPHTMisses.Value() == 0 {
+		t.Error("monitor option did not forward the hub to the predictor")
+	}
+}
+
+func TestNilOptionIgnored(t *testing.T) {
+	if _, err := NewMonitor(phase.Default(), NewLastValue(), nil, WithTelemetry(nil)); err != nil {
+		t.Fatalf("nil option: %v", err)
+	}
+}

@@ -29,6 +29,11 @@ type Options struct {
 	// Granularity is the sampling interval in uops; 0 selects the
 	// paper's 100M.
 	Granularity float64
+	// Workers bounds how many governed runs the fleet-backed
+	// experiments (Figures 11-13) execute concurrently; 0 selects
+	// GOMAXPROCS. The worker count never changes results, only wall
+	// time.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

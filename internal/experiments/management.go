@@ -1,20 +1,45 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"phasemon/internal/daq"
 	"phasemon/internal/dvfs"
+	"phasemon/internal/fleet"
 	"phasemon/internal/governor"
 	"phasemon/internal/phase"
 	"phasemon/internal/stats"
 	"phasemon/internal/workload"
 )
 
-// deployedPolicy is the configuration of the paper's deployed system:
-// GPHT with depth 8 and the 128-entry PHT chosen in Section 3.2.
+// deployedSpec is the policy spec of the paper's deployed system: GPHT
+// with depth 8 and the 128-entry PHT chosen in Section 3.2.
+const deployedSpec = "gpht_8_128"
+
+// deployedPolicy is deployedSpec as an assembled policy, for the
+// measured (non-fleet) runs.
 func deployedPolicy() governor.Policy { return governor.Proactive(8, 128) }
+
+// engine builds the fleet engine the management experiments share for
+// one invocation.
+func engine(o Options) *fleet.Engine {
+	return fleet.New(fleet.Config{Workers: o.Workers})
+}
+
+// spec builds the fleet spec for one benchmark/policy pair under the
+// experiment options. The explicit seed keeps the streams identical to
+// the pre-fleet serial runs.
+func spec(o Options, bench, policy string) fleet.Spec {
+	return fleet.Spec{
+		Workload:        bench,
+		Policy:          policy,
+		Intervals:       o.Intervals,
+		Seed:            o.Seed,
+		GranularityUops: uint64(o.Granularity),
+	}
+}
 
 // --- Figure 10 -----------------------------------------------------
 
@@ -177,25 +202,31 @@ type Fig11Row struct {
 
 // Figure11 runs every benchmark under the deployed GPHT governor and
 // reports BIPS, power and EDP normalized to the unmanaged baseline,
-// sorted by decreasing normalized EDP (the paper's ordering).
+// sorted by decreasing normalized EDP (the paper's ordering). The
+// baseline/managed run pairs execute on the fleet engine, o.Workers
+// at a time.
 func Figure11(o Options) ([]Fig11Row, error) {
 	o = o.withDefaults()
-	out, err := parMap(workload.All(), func(p *workload.Profile) (Fig11Row, error) {
-		gen := p.Generator(o.params())
-		res, err := governor.Compare(gen, []governor.Policy{governor.Unmanaged(), deployedPolicy()}, governor.Config{})
-		if err != nil {
-			return Fig11Row{}, err
-		}
-		base, man := res["Baseline"], res[deployedPolicy().Name()]
-		return Fig11Row{
+	profiles := workload.All()
+	specs := make([]fleet.Spec, 0, 2*len(profiles))
+	for _, p := range profiles {
+		specs = append(specs,
+			spec(o, p.Name, "baseline"),
+			spec(o, p.Name, deployedSpec))
+	}
+	results, err := engine(o).RunAll(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig11Row, len(profiles))
+	for i, p := range profiles {
+		base, man := results[2*i].Res, results[2*i+1].Res
+		out[i] = Fig11Row{
 			Name:           p.Name,
 			NormalizedBIPS: governor.NormalizedBIPS(base, man),
 			NormalizedPow:  governor.NormalizedPower(base, man),
 			NormalizedEDP:  governor.NormalizedEDP(base, man),
-		}, nil
-	})
-	if err != nil {
-		return nil, err
+		}
 	}
 	// Sort by decreasing normalized EDP.
 	for i := 1; i < len(out); i++ {
@@ -231,29 +262,37 @@ type Fig12Row struct {
 }
 
 // Figure12 reproduces the proactive-vs-reactive comparison over the
-// paper's Q2/Q3/Q4 benchmark set.
+// paper's Q2/Q3/Q4 benchmark set, three fleet runs per benchmark.
 func Figure12(o Options) ([]Fig12Row, error) {
 	o = o.withDefaults()
-	return parMap(workload.Figure12Set(), func(p *workload.Profile) (Fig12Row, error) {
-		gen := p.Generator(o.params())
-		res, err := governor.Compare(gen,
-			[]governor.Policy{governor.Unmanaged(), governor.Reactive(), deployedPolicy()},
-			governor.Config{})
-		if err != nil {
-			return Fig12Row{}, err
+	profiles := workload.Figure12Set()
+	specs := make([]fleet.Spec, 0, 3*len(profiles))
+	for _, p := range profiles {
+		specs = append(specs,
+			spec(o, p.Name, "baseline"),
+			spec(o, p.Name, "reactive"),
+			spec(o, p.Name, deployedSpec))
+	}
+	results, err := engine(o).RunAll(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig12Row, len(profiles))
+	for i, p := range profiles {
+		base, lv, gp := results[3*i].Res, results[3*i+1].Res, results[3*i+2].Res
+		out[i] = Fig12Row{
+			Name: p.Name,
+			EDPImprovement: map[string]float64{
+				"LastValue": governor.EDPImprovement(base, lv),
+				"GPHT":      governor.EDPImprovement(base, gp),
+			},
+			Degradation: map[string]float64{
+				"LastValue": governor.PerformanceDegradation(base, lv),
+				"GPHT":      governor.PerformanceDegradation(base, gp),
+			},
 		}
-		base := res["Baseline"]
-		row := Fig12Row{
-			Name:           p.Name,
-			EDPImprovement: map[string]float64{},
-			Degradation:    map[string]float64{},
-		}
-		row.EDPImprovement["LastValue"] = governor.EDPImprovement(base, res["LastValue"])
-		row.EDPImprovement["GPHT"] = governor.EDPImprovement(base, res[deployedPolicy().Name()])
-		row.Degradation["LastValue"] = governor.PerformanceDegradation(base, res["LastValue"])
-		row.Degradation["GPHT"] = governor.PerformanceDegradation(base, res[deployedPolicy().Name()])
-		return row, nil
-	})
+	}
+	return out, nil
 }
 
 func runFigure12(o Options, w io.Writer) error {
@@ -294,43 +333,33 @@ type Fig13Row struct {
 	EDPImprovement float64
 }
 
-// Figure13 derives the conservative translation that bounds worst-case
-// slowdown at 5% (Section 6.3) and measures the five benchmarks under
-// it.
+// Figure13 measures the five benchmarks under the conservative
+// translation that bounds worst-case slowdown at 5% (Section 6.3).
+// The fleet engine derives the bounded translation from each spec's
+// Bound field — at a pessimistic memory-level parallelism of 2, so the
+// static bound covers the whole suite.
 func Figure13(o Options) ([]Fig13Row, error) {
 	o = o.withDefaults()
-	m := model()
-	// Derive at a pessimistic memory-level parallelism so the static
-	// bound covers the whole suite.
-	slow := func(mem, coreUPC, f, fmax float64) float64 {
-		return m.SlowdownMLP(mem, coreUPC, 2.0, f, fmax)
+	specs := make([]fleet.Spec, 0, 2*len(Fig13Benchmarks))
+	for _, name := range Fig13Benchmarks {
+		bounded := spec(o, name, deployedSpec)
+		bounded.Bound = 0.05
+		specs = append(specs, spec(o, name, "baseline"), bounded)
 	}
-	conservative, err := dvfs.DeriveBounded(dvfs.PentiumM(), phase.Default(), slow, 0.05, 1.5)
+	results, err := engine(o).RunAll(context.Background(), specs)
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig13Row
-	for _, name := range Fig13Benchmarks {
-		p, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		gen := p.Generator(o.params())
-		base, err := governor.Run(gen, governor.Unmanaged(), governor.Config{})
-		if err != nil {
-			return nil, err
-		}
-		bounded, err := governor.Run(gen, deployedPolicy(), governor.Config{Translation: conservative})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Fig13Row{
+	out := make([]Fig13Row, len(Fig13Benchmarks))
+	for i, name := range Fig13Benchmarks {
+		base, bounded := results[2*i].Res, results[2*i+1].Res
+		out[i] = Fig13Row{
 			Name:           name,
 			Degradation:    governor.PerformanceDegradation(base, bounded),
 			PowerSavings:   governor.PowerSavings(base, bounded),
 			EnergySavings:  governor.EnergySavings(base, bounded),
 			EDPImprovement: governor.EDPImprovement(base, bounded),
-		})
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,83 @@
+package governor_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"phasemon/internal/cpusim"
+	"phasemon/internal/governor"
+	"phasemon/internal/workload"
+)
+
+func testGen(t *testing.T, name string, intervals int) workload.Generator {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Generator(workload.Params{Seed: 1, Intervals: intervals})
+}
+
+func TestRunContextBackground(t *testing.T) {
+	gen := testGen(t, "applu_in", 40)
+	want, err := governor.Run(gen, governor.Unmanaged(), governor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := governor.RunContext(context.Background(), gen, governor.Unmanaged(), governor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Run != want.Run {
+		t.Errorf("RunContext(Background) diverged from Run: %+v vs %+v", got.Run, want.Run)
+	}
+}
+
+func TestRunContextNilContext(t *testing.T) {
+	gen := testGen(t, "applu_in", 10)
+	if _, err := governor.RunContext(nil, gen, governor.Unmanaged(), governor.Config{}); err != nil { //nolint:staticcheck
+		t.Fatalf("nil ctx: %v", err)
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gen := testGen(t, "applu_in", 10)
+	res, err := governor.RunContext(ctx, gen, governor.Unmanaged(), governor.Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got res=%v err=%v", res, err)
+	}
+}
+
+// cancelingGen cancels the run's own context after a fixed number of
+// intervals, simulating cancellation arriving mid-run.
+type cancelingGen struct {
+	workload.Generator
+	cancel context.CancelFunc
+	after  int
+	n      int
+}
+
+func (g *cancelingGen) Next() (cpusim.Work, bool) {
+	if g.n == g.after {
+		g.cancel()
+	}
+	g.n++
+	return g.Generator.Next()
+}
+
+func TestRunContextMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inner := testGen(t, "applu_in", 5000)
+	gen := &cancelingGen{Generator: inner, cancel: cancel, after: 100}
+	res, err := governor.RunContext(ctx, gen, governor.Unmanaged(), governor.Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled after mid-run cancel, got res=%v err=%v", res, err)
+	}
+	if res != nil {
+		t.Error("canceled run must not return a partial result")
+	}
+}

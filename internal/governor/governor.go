@@ -18,9 +18,11 @@
 package governor
 
 import (
+	"context"
 	"fmt"
 
 	"phasemon/internal/core"
+	"phasemon/internal/cpusim"
 	"phasemon/internal/daq"
 	"phasemon/internal/dvfs"
 	"phasemon/internal/kernelsim"
@@ -159,8 +161,43 @@ func (r *Result) EDP() float64 { return r.Run.EDP() }
 
 // Run executes the workload under the policy. The generator is Reset
 // first, so the same generator can be reused across policies for
-// like-for-like comparisons.
+// like-for-like comparisons. It is RunContext with a background
+// context.
 func Run(gen workload.Generator, pol Policy, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), gen, pol, cfg)
+}
+
+// ctxGenerator wraps a workload generator so a canceled context ends
+// the stream early. The context is polled once every pollStride
+// intervals — cheap enough for the 100M-uop granularity while bounding
+// how long a canceled run keeps executing.
+type ctxGenerator struct {
+	workload.Generator
+	ctx context.Context
+	n   int
+}
+
+const ctxPollStride = 32
+
+func (g *ctxGenerator) Next() (cpusim.Work, bool) {
+	if g.n%ctxPollStride == 0 && g.ctx.Err() != nil {
+		return cpusim.Work{}, false
+	}
+	g.n++
+	return g.Generator.Next()
+}
+
+// RunContext is Run with cancellation: a canceled or expired context
+// stops the workload stream at the next poll point and the run returns
+// the context's error rather than a truncated (and therefore
+// misleading) result. A nil ctx behaves like context.Background().
+func RunContext(ctx context.Context, gen workload.Generator, pol Policy, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Classifier == nil {
 		cfg.Classifier = phase.Default()
 	}
@@ -179,11 +216,17 @@ func Run(gen workload.Generator, pol Policy, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("governor: translation ladder differs from machine ladder")
 	}
 
-	pred, err := pol.NewPredictor(cfg.Classifier.NumPhases())
+	var pred core.Predictor
+	var err error
+	if cp, ok := pol.(ClassifierPolicy); ok {
+		pred, err = cp.NewPredictorFor(cfg.Classifier)
+	} else {
+		pred, err = pol.NewPredictor(cfg.Classifier.NumPhases())
+	}
 	if err != nil {
 		return nil, fmt.Errorf("governor: building predictor for %s: %w", pol.Name(), err)
 	}
-	mon, err := core.NewMonitor(cfg.Classifier, pred)
+	mon, err := core.NewMonitor(cfg.Classifier, pred, core.WithTelemetry(cfg.Telemetry))
 	if err != nil {
 		return nil, err
 	}
@@ -209,11 +252,20 @@ func Run(gen workload.Generator, pol Policy, cfg Config) (*Result, error) {
 		cfg.Telemetry.GovernorRuns.Inc()
 	}
 	gen.Reset()
-	run, err := m.Run(gen, mod)
+	src := workload.Generator(gen)
+	if ctx.Done() != nil {
+		src = &ctxGenerator{Generator: gen, ctx: ctx}
+	}
+	run, err := m.Run(src, mod)
 	if err != nil {
 		return nil, fmt.Errorf("governor: running %s under %s: %w", gen.Name(), pol.Name(), err)
 	}
 	mod.Unload(m)
+	if err := ctx.Err(); err != nil {
+		// The stream was cut short by cancellation; a truncated run must
+		// not masquerade as a completed one.
+		return nil, err
+	}
 
 	return &Result{
 		Policy:           pol.Name(),

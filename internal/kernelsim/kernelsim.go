@@ -143,6 +143,10 @@ func NewModule(cfg Config) (*Module, error) {
 // counters (the one-time initialization of Figure 8) and starts them.
 func (mod *Module) Load(m *machine.Machine) error {
 	if mod.cfg.Telemetry != nil {
+		// The monitor was built by the caller, so Load cannot use the
+		// construction-time core.WithTelemetry option; the deprecated
+		// setter is the supported path for retrofitting a hub here.
+		//lint:ignore SA1019 Load wires an already-built monitor.
 		mod.cfg.Monitor.SetTelemetry(mod.cfg.Telemetry)
 		m.DVFS().SetTelemetry(mod.cfg.Telemetry)
 	}

@@ -17,11 +17,13 @@ type enumType struct{ pkg, typ string }
 
 // enforcedEnums are the taxonomies a new bin must never silently fall
 // out of: the six phase classes (Table 1), the SpeedStep operating
-// points (Table 2), and the telemetry journal's event kinds.
+// points (Table 2), the telemetry journal's event kinds, and the fleet
+// engine's run statuses.
 var enforcedEnums = []enumType{
 	{"phase", "Class"},
 	{"dvfs", "Setting"},
 	{"telemetry", "EventKind"},
+	{"fleet", "Status"},
 }
 
 // ExhaustiveAnalyzer requires every switch over an enforced enum type
@@ -31,8 +33,8 @@ var enforcedEnums = []enumType{
 // compiles cleanly while every switch quietly drops the new bin.
 var ExhaustiveAnalyzer = &Analyzer{
 	Name: "exhaustive",
-	Doc: "switches over phase.Class, dvfs.Setting and telemetry.EventKind " +
-		"must cover all constants or reject unknowns in a default",
+	Doc: "switches over phase.Class, dvfs.Setting, telemetry.EventKind and " +
+		"fleet.Status must cover all constants or reject unknowns in a default",
 	Run: runExhaustive,
 }
 

@@ -3,6 +3,7 @@ package exhaustive
 
 import (
 	"exhaustive/dvfs"
+	"exhaustive/fleet"
 	"exhaustive/phase"
 )
 
@@ -23,4 +24,12 @@ func emptyDefault(s dvfs.Setting) int {
 	default: // want `switch over dvfs.Setting has an empty default`
 	}
 	return -1
+}
+
+func missingStatus(s fleet.Status) bool {
+	switch s { // want `switch over fleet.Status is not exhaustive: missing StatusFailed, StatusCanceled`
+	case fleet.StatusOK, fleet.StatusCached:
+		return true
+	}
+	return false
 }

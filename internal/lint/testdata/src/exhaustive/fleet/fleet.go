@@ -1,0 +1,11 @@
+// Fixture model of internal/fleet's Status enum.
+package fleet
+
+type Status uint8
+
+const (
+	StatusOK Status = iota + 1
+	StatusCached
+	StatusFailed
+	StatusCanceled
+)

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"exhaustive/dvfs"
+	"exhaustive/fleet"
 	"exhaustive/phase"
 )
 
@@ -30,6 +31,31 @@ func partialWithRejectingDefault(s dvfs.Setting) (int, error) {
 		return 0, nil
 	default:
 		return 0, errors.New("unhandled setting")
+	}
+}
+
+// fullStatus covers every fleet run status; no default needed.
+func fullStatus(s fleet.Status) string {
+	switch s {
+	case fleet.StatusOK:
+		return "ok"
+	case fleet.StatusCached:
+		return "cached"
+	case fleet.StatusFailed:
+		return "failed"
+	case fleet.StatusCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
+// partialStatusWithDefault rejects unknown statuses explicitly.
+func partialStatusWithDefault(s fleet.Status) (bool, error) {
+	switch s {
+	case fleet.StatusOK, fleet.StatusCached:
+		return true, nil
+	default:
+		return false, errors.New("run did not succeed")
 	}
 }
 

@@ -33,6 +33,12 @@ const (
 	MetricPMISamples       = "phasemon_pmi_samples_total"
 	MetricBudgetViolations = "phasemon_pmi_budget_violations_total"
 	MetricGovernorRuns     = "phasemon_governor_runs_total"
+	MetricFleetStarted     = "phasemon_fleet_runs_started_total"
+	MetricFleetCompleted   = "phasemon_fleet_runs_completed_total"
+	MetricFleetFailed      = "phasemon_fleet_runs_failed_total"
+	MetricFleetCacheHits   = "phasemon_fleet_cache_hits_total"
+	MetricFleetQueueDepth  = "phasemon_fleet_queue_depth"
+	MetricFleetRunSeconds  = "phasemon_fleet_run_seconds"
 	MetricCurrentPhase     = "phasemon_monitor_current_phase"
 	MetricPredictedPhase   = "phasemon_monitor_predicted_phase"
 	MetricCurrentSetting   = "phasemon_dvfs_current_setting"
@@ -48,6 +54,10 @@ var DefaultMemPerUopBounds = []float64{0.005, 0.010, 0.015, 0.020, 0.030}
 // last bound is the kernel module's 50 µs interrupt budget, so the
 // +Inf bucket counts budget-busting invocations.
 var DefaultHandlerBounds = []float64{1e-6, 2e-6, 5e-6, 10e-6, 20e-6, 50e-6}
+
+// DefaultFleetRunBounds bucket wall-clock seconds of one fleet run,
+// spanning cache-hit-fast replays through multi-second sweeps.
+var DefaultFleetRunBounds = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30}
 
 // Hub bundles the instruments and journal for one monitored pipeline.
 // Every Record* method and every instrument handle is safe on a nil
@@ -70,14 +80,25 @@ type Hub struct {
 	BudgetViolations *Counter
 	GovernorRuns     *Counter
 
+	// Fleet-engine counters: run lifecycle and cache effectiveness.
+	FleetStarted   *Counter
+	FleetCompleted *Counter
+	FleetFailed    *Counter
+	FleetCacheHits *Counter
+
 	// Gauges of current state.
 	CurrentPhase   *Gauge
 	PredictedPhase *Gauge
 	CurrentSetting *Gauge
+	// FleetQueueDepth is the number of fleet run specs accepted but not
+	// yet finished.
+	FleetQueueDepth *Gauge
 
 	// Distributions.
 	MemPerUop   *Histogram
 	HandlerCost *Histogram
+	// FleetRunSeconds distributes per-run wall time in the fleet engine.
+	FleetRunSeconds *Histogram
 
 	// conf is the live confusion matrix: a flat row-major
 	// (numPhases+1)² grid of atomic cells (row = actual, column =
@@ -108,12 +129,18 @@ func NewHub(numPhases int) *Hub {
 		PMISamples:       reg.Counter(MetricPMISamples),
 		BudgetViolations: reg.Counter(MetricBudgetViolations),
 		GovernorRuns:     reg.Counter(MetricGovernorRuns),
+		FleetStarted:     reg.Counter(MetricFleetStarted),
+		FleetCompleted:   reg.Counter(MetricFleetCompleted),
+		FleetFailed:      reg.Counter(MetricFleetFailed),
+		FleetCacheHits:   reg.Counter(MetricFleetCacheHits),
 		CurrentPhase:     reg.Gauge(MetricCurrentPhase),
 		PredictedPhase:   reg.Gauge(MetricPredictedPhase),
 		CurrentSetting:   reg.Gauge(MetricCurrentSetting),
+		FleetQueueDepth:  reg.Gauge(MetricFleetQueueDepth),
 	}
 	h.MemPerUop, _ = reg.Histogram(MetricMemPerUop, DefaultMemPerUopBounds)
 	h.HandlerCost, _ = reg.Histogram(MetricHandlerSeconds, DefaultHandlerBounds)
+	h.FleetRunSeconds, _ = reg.Histogram(MetricFleetRunSeconds, DefaultFleetRunBounds)
 	h.numPhases = numPhases
 	h.conf = make([]atomic.Uint64, (numPhases+1)*(numPhases+1))
 	return h
