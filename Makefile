@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all build test test-short check lint fleet-race race bench experiments extensions csv clean
+.PHONY: all build test test-short check lint fleet-race race bench bench-json bench-smoke experiments extensions csv clean
 
 all: build test
 
@@ -50,6 +50,33 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# --- Benchmark-regression harness (DESIGN.md §10) -------------------
+#
+# bench-json runs the canonical hot-path benchmark set and exports it
+# as $(BENCH_JSON) through cmd/benchjson. The committed
+# BENCH_hotpath.json is the reference point; bench-smoke re-measures
+# quickly (-benchtime=$(SMOKE_BENCHTIME)) and fails on allocs/op
+# regressions — the only machine-independent metric, which is why CI
+# gates on it alone. Gate ns/op or B/op locally with:
+#   go run ./cmd/benchjson -compare -gate all BENCH_hotpath.json out/BENCH_smoke.json
+
+BENCH_JSON ?= BENCH_hotpath.json
+BENCHTIME ?= 1s
+SMOKE_BENCHTIME ?= 100x
+
+bench-json:
+	@mkdir -p out
+	$(GO) test -run '^$$' -bench 'BenchmarkGovernorRun$$|BenchmarkGPHTObserve$$|BenchmarkHeadline$$' -benchmem -benchtime=$(BENCHTIME) . > out/bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetSweep$$' -benchmem -benchtime=$(BENCHTIME) ./internal/fleet >> out/bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkMonitorStepAllocs$$' -benchmem -benchtime=$(BENCHTIME) ./internal/core >> out/bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkWorkloadCache$$' -benchmem -benchtime=$(BENCHTIME) ./internal/wcache >> out/bench.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) out/bench.txt
+	@echo "wrote $(BENCH_JSON)"
+
+bench-smoke:
+	$(MAKE) bench-json BENCHTIME=$(SMOKE_BENCHTIME) BENCH_JSON=out/BENCH_smoke.json
+	$(GO) run ./cmd/benchjson -compare -gate allocs -threshold 0.25 BENCH_hotpath.json out/BENCH_smoke.json
 
 # Regenerate every paper table/figure at full length.
 experiments:

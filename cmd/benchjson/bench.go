@@ -1,0 +1,312 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the JSON document layout.
+const SchemaVersion = 1
+
+// Result is one benchmark measurement. BytesPerOp/AllocsPerOp are
+// pointers so "not measured" (no -benchmem) is distinguishable from a
+// measured zero — the zero is exactly what the hot-path contract
+// asserts.
+type Result struct {
+	Pkg         string   `json:"pkg"`
+	Name        string   `json:"name"`
+	Runs        int64    `json:"runs"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// key joins documents from different runs.
+func (r Result) key() string { return r.Pkg + " " + r.Name }
+
+// Doc is the top-level JSON document.
+type Doc struct {
+	SchemaVersion int      `json:"schema_version"`
+	Goos          string   `json:"goos,omitempty"`
+	Goarch        string   `json:"goarch,omitempty"`
+	CPU           string   `json:"cpu,omitempty"`
+	Benchmarks    []Result `json:"benchmarks"`
+}
+
+// WriteJSON renders the document, benchmarks sorted by key so
+// documents diff cleanly.
+func (d *Doc) WriteJSON(w io.Writer) error {
+	sort.Slice(d.Benchmarks, func(i, j int) bool {
+		return d.Benchmarks[i].key() < d.Benchmarks[j].key()
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadJSON parses a document and validates its version.
+func ReadJSON(r io.Reader) (*Doc, error) {
+	var d Doc
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("decoding bench JSON: %w", err)
+	}
+	if d.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("bench JSON schema version %d, want %d", d.SchemaVersion, SchemaVersion)
+	}
+	return &d, nil
+}
+
+// gomaxprocsSuffix strips the trailing -N processor count go test
+// appends to benchmark names, so runs from machines with different
+// core counts still join.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse consumes `go test -bench` text output. Multiple package
+// sections (pkg: headers) may be concatenated; results are attributed
+// to the most recent header. Benchmarks that ran more than once keep
+// their last measurement.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{SchemaVersion: SchemaVersion}
+	byKey := map[string]int{}
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			res.Pkg = pkg
+			if i, dup := byKey[res.key()]; dup {
+				doc.Benchmarks[i] = res
+			} else {
+				byKey[res.key()] = len(doc.Benchmarks)
+				doc.Benchmarks = append(doc.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading bench output: %w", err)
+	}
+	return doc, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8  590  1900593 ns/op  1408757 B/op  1092 allocs/op
+//
+// Lines that start with Benchmark but don't follow the shape (e.g. the
+// bare name go test prints before a verbose run) are skipped, not
+// errors.
+func parseBenchLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false, nil
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	name = gomaxprocsSuffix.ReplaceAllString(name, "")
+	res := Result{Name: name, Runs: runs}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("bench line %q: bad value %q", line, fields[i])
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			res.BytesPerOp = &v
+		case "allocs/op":
+			res.AllocsPerOp = &v
+		}
+	}
+	if !seen {
+		return Result{}, false, nil
+	}
+	return res, true, nil
+}
+
+// Metric identifies one compared quantity.
+type Metric string
+
+// Compared metrics. Each has a minimum absolute delta below which a
+// change is noise, not signal — without it a 0→1 alloc blip or a
+// 40→55 ns jitter on a trivial benchmark would read as a >25%
+// regression.
+const (
+	MetricNs     Metric = "ns/op"
+	MetricBytes  Metric = "B/op"
+	MetricAllocs Metric = "allocs/op"
+)
+
+func (m Metric) minDelta() float64 {
+	switch m {
+	case MetricNs:
+		return 50
+	case MetricBytes:
+		return 64
+	case MetricAllocs:
+		return 2
+	}
+	return 0
+}
+
+// gated reports whether the metric participates in the failure gate.
+func (m Metric) gated(gate string) bool {
+	switch gate {
+	case "all":
+		return true
+	case "ns":
+		return m == MetricNs
+	case "bytes":
+		return m == MetricBytes
+	case "allocs":
+		return m == MetricAllocs
+	}
+	return false
+}
+
+// Delta is one benchmark metric's old→new movement.
+type Delta struct {
+	Key    string
+	Metric Metric
+	Old    float64
+	New    float64
+	// Regressed marks deltas beyond the comparison threshold (after
+	// the metric's noise floor).
+	Regressed bool
+	// Improved marks deltas that moved the other way by the same
+	// margin.
+	Improved bool
+}
+
+// Ratio returns new/old − 1 (so +0.30 is a 30% regression); old 0
+// with a nonzero new reads as +Inf handled by the caller via minDelta.
+func (d Delta) Ratio() float64 {
+	if d.Old == 0 {
+		if d.New == 0 {
+			return 0
+		}
+		return 1
+	}
+	return d.New/d.Old - 1
+}
+
+// Report is a full comparison.
+type Report struct {
+	Deltas []Delta
+	// OnlyOld / OnlyNew list benchmarks present in one document only.
+	OnlyOld []string
+	OnlyNew []string
+}
+
+// Compare joins two documents by (pkg, name) and classifies each
+// shared metric. A metric regresses when it worsens by more than
+// threshold relative AND more than its absolute noise floor.
+func Compare(old, cur *Doc, threshold float64) *Report {
+	oldBy := map[string]Result{}
+	for _, r := range old.Benchmarks {
+		oldBy[r.key()] = r
+	}
+	curKeys := map[string]bool{}
+	rep := &Report{}
+	for _, nr := range cur.Benchmarks {
+		curKeys[nr.key()] = true
+		or, ok := oldBy[nr.key()]
+		if !ok {
+			rep.OnlyNew = append(rep.OnlyNew, nr.key())
+			continue
+		}
+		add := func(m Metric, ov, nv float64) {
+			d := Delta{Key: nr.key(), Metric: m, Old: ov, New: nv}
+			if diff := nv - ov; diff > m.minDelta() && d.Ratio() > threshold {
+				d.Regressed = true
+			} else if diff < -m.minDelta() && d.Ratio() < -threshold {
+				d.Improved = true
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+		add(MetricNs, or.NsPerOp, nr.NsPerOp)
+		if or.BytesPerOp != nil && nr.BytesPerOp != nil {
+			add(MetricBytes, *or.BytesPerOp, *nr.BytesPerOp)
+		}
+		if or.AllocsPerOp != nil && nr.AllocsPerOp != nil {
+			add(MetricAllocs, *or.AllocsPerOp, *nr.AllocsPerOp)
+		}
+	}
+	for _, or := range old.Benchmarks {
+		if !curKeys[or.key()] {
+			rep.OnlyOld = append(rep.OnlyOld, or.key())
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].Key != rep.Deltas[j].Key {
+			return rep.Deltas[i].Key < rep.Deltas[j].Key
+		}
+		return rep.Deltas[i].Metric < rep.Deltas[j].Metric
+	})
+	sort.Strings(rep.OnlyOld)
+	sort.Strings(rep.OnlyNew)
+	return rep
+}
+
+// Failed reports whether any gated metric regressed.
+func (r *Report) Failed(gate string) bool {
+	for _, d := range r.Deltas {
+		if d.Regressed && d.Metric.gated(gate) {
+			return true
+		}
+	}
+	return false
+}
+
+// Write renders the comparison, benchstat-style: one line per changed
+// metric, a summary of unchanged counts, and the membership diffs.
+func (r *Report) Write(w io.Writer) {
+	unchanged := 0
+	for _, d := range r.Deltas {
+		if !d.Regressed && !d.Improved {
+			unchanged++
+			continue
+		}
+		verdict := "IMPROVED"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(w, "%-9s %-60s %-10s %12.4g -> %12.4g  (%+.1f%%)\n",
+			verdict, d.Key, d.Metric, d.Old, d.New, d.Ratio()*100)
+	}
+	fmt.Fprintf(w, "%d metrics compared, %d within threshold\n", len(r.Deltas), unchanged)
+	for _, k := range r.OnlyOld {
+		fmt.Fprintf(w, "only in old: %s\n", k)
+	}
+	for _, k := range r.OnlyNew {
+		fmt.Fprintf(w, "only in new: %s\n", k)
+	}
+}

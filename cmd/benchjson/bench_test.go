@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: phasemon/internal/fleet
+cpu: AMD EPYC 7B13
+BenchmarkFleetSweep/workers=1-8         	     298	   3873316 ns/op	 1408445 B/op	    1086 allocs/op
+BenchmarkFleetSweep/workers=4-8         	     632	   1900593 ns/op	 1408757 B/op	    1092 allocs/op
+PASS
+ok  	phasemon/internal/fleet	4.123s
+goos: linux
+goarch: amd64
+pkg: phasemon/internal/core
+BenchmarkMonitorStepAllocs-8    	13807155	        86.92 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	phasemon/internal/core	2.001s
+`
+
+func parseSample(t *testing.T, s string) *Doc {
+	t.Helper()
+	doc, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParse(t *testing.T) {
+	doc := parseSample(t, sampleOutput)
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("env header lost: %q %q %q", doc.Goos, doc.Goarch, doc.CPU)
+	}
+	byKey := map[string]Result{}
+	for _, r := range doc.Benchmarks {
+		byKey[r.key()] = r
+	}
+	sweep, ok := byKey["phasemon/internal/fleet FleetSweep/workers=4"]
+	if !ok {
+		t.Fatalf("FleetSweep/workers=4 missing (GOMAXPROCS suffix not stripped?): %v", byKey)
+	}
+	if sweep.Runs != 632 || sweep.NsPerOp != 1900593 {
+		t.Errorf("sweep = %+v", sweep)
+	}
+	if sweep.BytesPerOp == nil || *sweep.BytesPerOp != 1408757 {
+		t.Errorf("sweep B/op = %v", sweep.BytesPerOp)
+	}
+	step := byKey["phasemon/internal/core MonitorStepAllocs"]
+	if step.AllocsPerOp == nil || *step.AllocsPerOp != 0 {
+		t.Errorf("zero allocs/op must be recorded, not omitted: %+v", step)
+	}
+	if step.NsPerOp != 86.92 {
+		t.Errorf("fractional ns/op lost: %v", step.NsPerOp)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	doc := parseSample(t, sampleOutput)
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(doc.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(back.Benchmarks), len(doc.Benchmarks))
+	}
+	for i := range doc.Benchmarks {
+		a, b := doc.Benchmarks[i], back.Benchmarks[i]
+		if a.key() != b.key() || a.NsPerOp != b.NsPerOp {
+			t.Errorf("benchmark %d changed: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadJSONRejectsWrongVersion(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"schema_version": 99, "benchmarks": []}`)); err == nil {
+		t.Fatal("wrong schema version accepted")
+	}
+}
+
+func f(v float64) *float64 { return &v }
+
+func mkDoc(rs ...Result) *Doc { return &Doc{SchemaVersion: SchemaVersion, Benchmarks: rs} }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := mkDoc(
+		Result{Pkg: "p", Name: "A", NsPerOp: 1000, BytesPerOp: f(1000), AllocsPerOp: f(100)},
+		Result{Pkg: "p", Name: "B", NsPerOp: 1000, AllocsPerOp: f(0)},
+	)
+	cur := mkDoc(
+		// ns +50% (regress), bytes -50% (improve), allocs unchanged.
+		Result{Pkg: "p", Name: "A", NsPerOp: 1500, BytesPerOp: f(500), AllocsPerOp: f(100)},
+		// allocs 0 -> 10: above both threshold and noise floor.
+		Result{Pkg: "p", Name: "B", NsPerOp: 1000, AllocsPerOp: f(10)},
+	)
+	rep := Compare(old, cur, 0.25)
+	got := map[string]Delta{}
+	for _, d := range rep.Deltas {
+		got[d.Key+" "+string(d.Metric)] = d
+	}
+	if d := got["p A ns/op"]; !d.Regressed {
+		t.Errorf("ns/op +50%% not flagged: %+v", d)
+	}
+	if d := got["p A B/op"]; !d.Improved || d.Regressed {
+		t.Errorf("B/op -50%% not an improvement: %+v", d)
+	}
+	if d := got["p A allocs/op"]; d.Regressed || d.Improved {
+		t.Errorf("unchanged allocs flagged: %+v", d)
+	}
+	if d := got["p B allocs/op"]; !d.Regressed {
+		t.Errorf("0->10 allocs not flagged: %+v", d)
+	}
+	if !rep.Failed("all") || !rep.Failed("allocs") || !rep.Failed("ns") {
+		t.Error("gates that include a regressed metric must fail")
+	}
+	if rep.Failed("bytes") || rep.Failed("none") {
+		t.Error("gates without a regressed metric must pass")
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	old := mkDoc(
+		// 40 -> 55 ns is +37% but only 15 ns: noise, not regression.
+		Result{Pkg: "p", Name: "Tiny", NsPerOp: 40, AllocsPerOp: f(0)},
+		// 0 -> 1 alloc is below the 2-alloc floor.
+		Result{Pkg: "p", Name: "OneAlloc", NsPerOp: 1000, AllocsPerOp: f(0)},
+	)
+	cur := mkDoc(
+		Result{Pkg: "p", Name: "Tiny", NsPerOp: 55, AllocsPerOp: f(0)},
+		Result{Pkg: "p", Name: "OneAlloc", NsPerOp: 1000, AllocsPerOp: f(1)},
+	)
+	rep := Compare(old, cur, 0.25)
+	if rep.Failed("all") {
+		t.Errorf("sub-noise-floor deltas failed the gate: %+v", rep.Deltas)
+	}
+}
+
+func TestCompareMembershipDiffs(t *testing.T) {
+	old := mkDoc(Result{Pkg: "p", Name: "Gone", NsPerOp: 1})
+	cur := mkDoc(Result{Pkg: "p", Name: "New", NsPerOp: 1})
+	rep := Compare(old, cur, 0.25)
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "p Gone" {
+		t.Errorf("OnlyOld = %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "p New" {
+		t.Errorf("OnlyNew = %v", rep.OnlyNew)
+	}
+	if rep.Failed("all") {
+		t.Error("membership changes alone must not fail the gate")
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	doc := parseSample(t, "BenchmarkOnlyName\nBenchmarkNoUnit-8 12 34\nnot a bench line\n")
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("malformed lines produced results: %+v", doc.Benchmarks)
+	}
+}
+
+func TestReportWrite(t *testing.T) {
+	old := mkDoc(Result{Pkg: "p", Name: "A", NsPerOp: 1000})
+	cur := mkDoc(Result{Pkg: "p", Name: "A", NsPerOp: 2000})
+	var buf bytes.Buffer
+	Compare(old, cur, 0.25).Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "p A") {
+		t.Errorf("report missing regression line:\n%s", out)
+	}
+}

@@ -1,0 +1,121 @@
+// Command benchjson turns `go test -bench` text output into a stable
+// JSON document and compares two such documents for performance
+// regressions — a dependency-free stand-in for benchstat that the
+// repo's bench-regression harness (make bench-json / bench-compare,
+// CI's bench smoke step) is built on.
+//
+// Parse mode (default) reads benchmark output from the given files (or
+// stdin when none) and writes JSON:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH.json
+//
+// Compare mode reads two JSON documents and reports per-benchmark
+// deltas, exiting nonzero when any gated metric regresses beyond the
+// threshold:
+//
+//	benchjson -compare -gate allocs -threshold 0.25 old.json new.json
+//
+// The JSON schema (schema_version 1):
+//
+//	{
+//	  "schema_version": 1,
+//	  "goos": "linux", "goarch": "amd64", "cpu": "...",
+//	  "benchmarks": [
+//	    {"pkg": "phasemon/internal/fleet",
+//	     "name": "FleetSweep/workers=4",
+//	     "runs": 590,
+//	     "ns_per_op": 1900593,
+//	     "bytes_per_op": 1408757,   // omitted without -benchmem
+//	     "allocs_per_op": 1092}     // omitted without -benchmem
+//	  ]
+//	}
+//
+// Names are recorded without the -GOMAXPROCS suffix so documents from
+// machines with different core counts still join; ns/op and B/op are
+// machine-dependent, which is why CI gates on allocs/op only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "", "parse mode: write JSON here instead of stdout")
+		compare   = flag.Bool("compare", false, "compare two JSON documents (old new)")
+		gate      = flag.String("gate", "all", "compare mode: metrics that can fail the run: all, ns, bytes, allocs, none")
+		threshold = flag.Float64("threshold", 0.25, "compare mode: relative regression that fails a gated metric")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-gate m] [-threshold f] old.json new.json")
+			os.Exit(2)
+		}
+		old, err := readDoc(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := readDoc(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		rep := Compare(old, cur, *threshold)
+		rep.Write(os.Stdout)
+		if rep.Failed(*gate) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		readers := make([]io.Reader, 0, flag.NArg())
+		for _, name := range flag.Args() {
+			f, err := os.Open(name)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+	doc, err := Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input"))
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := doc.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+}
+
+func readDoc(name string) (*Doc, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(2)
+}

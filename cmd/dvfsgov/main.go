@@ -22,6 +22,7 @@ import (
 	"phasemon/internal/fleet"
 	"phasemon/internal/governor"
 	"phasemon/internal/phase"
+	"phasemon/internal/profiling"
 	"phasemon/internal/telemetry"
 	"phasemon/internal/workload"
 )
@@ -42,18 +43,27 @@ func main() {
 		liveEvery = flag.Duration("period", 100*time.Millisecond, "sampling period in -live mode")
 		telAddr   = flag.String("telemetry-addr", "", "serve live telemetry over HTTP on this address during the run (/metrics, /snapshot, /events); e.g. 127.0.0.1:9100 or :0")
 		telEvery  = flag.Int("telemetry-every", 25, "in -live mode, print a one-line telemetry summary every N intervals (0 disables)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	if *live > 0 {
-		if err := runLive(*live, *liveEvery, *livePid, *depth, *entries, *telAddr, *telEvery); err != nil {
-			fmt.Fprintln(os.Stderr, "dvfsgov:", err)
-			os.Exit(1)
-		}
-		return
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsgov:", err)
+		os.Exit(1)
 	}
-
-	if err := run(*bench, *policy, *depth, *entries, *intervals, *seed, *compare, *bound, *telAddr, *workers); err != nil {
+	if *live > 0 {
+		err = runLive(*live, *liveEvery, *livePid, *depth, *entries, *telAddr, *telEvery)
+	} else {
+		err = run(*bench, *policy, *depth, *entries, *intervals, *seed, *compare, *bound, *telAddr, *workers)
+	}
+	// Flush the profiles before exiting: os.Exit skips defers, so the
+	// stop call sits on the shared path of both outcomes.
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsgov:", err)
 		os.Exit(1)
 	}

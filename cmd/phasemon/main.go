@@ -28,6 +28,7 @@ import (
 	"phasemon/internal/kernelsim"
 	"phasemon/internal/machine"
 	"phasemon/internal/phase"
+	"phasemon/internal/profiling"
 	"phasemon/internal/telemetry"
 	"phasemon/internal/workload"
 )
@@ -54,55 +55,57 @@ func main() {
 		phases    = flag.String("phases", "", "custom Mem/Uop phase boundaries, comma-separated (default: the paper's Table 1)")
 		analyze   = flag.Bool("analyze", false, "print stream-structure analysis (entropy, runs, predictability ceiling) after the run")
 		telAddr   = flag.String("telemetry-addr", "", "serve live telemetry over HTTP on this address during the run (/metrics, /snapshot, /events); e.g. 127.0.0.1:9100 or :0")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	if *list {
-		if *verbose {
-			for _, p := range workload.All() {
-				fmt.Printf("%-18s %s  %s\n", p.Name, p.Quadrant, p.Description)
-			}
-		} else {
-			for _, n := range workload.Names() {
-				fmt.Println(n)
-			}
-		}
-		return
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phasemon:", err)
+		os.Exit(1)
 	}
-
-	if *live > 0 {
-		cls, err := classifierFor(*phases)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "phasemon:", err)
-			os.Exit(1)
-		}
-		var pred core.Predictor
-		pred, err = buildPredictor(*predictor, *depth, *entries, *window, *threshold, cls)
-		if err == nil {
-			var hub *telemetry.Hub
-			var stopTel func()
-			hub, stopTel, err = startTelemetry(*telAddr, cls.NumPhases())
-			if err == nil {
-				err = runLive(pred, *live, *liveEvery, *livePid, *liveLoad && *livePid == 0, hub)
-				stopTel()
+	// Dispatch through a closure so every branch — including error
+	// paths that end in os.Exit, which skips defers — flushes the
+	// profiles through the single stopProf call below.
+	err = func() error {
+		switch {
+		case *list:
+			if *verbose {
+				for _, p := range workload.All() {
+					fmt.Printf("%-18s %s  %s\n", p.Name, p.Quadrant, p.Description)
+				}
+			} else {
+				for _, n := range workload.Names() {
+					fmt.Println(n)
+				}
 			}
+			return nil
+		case *live > 0:
+			cls, err := classifierFor(*phases)
+			if err != nil {
+				return err
+			}
+			pred, err := buildPredictor(*predictor, *depth, *entries, *window, *threshold, cls)
+			if err != nil {
+				return err
+			}
+			hub, stopTel, err := startTelemetry(*telAddr, cls.NumPhases())
+			if err != nil {
+				return err
+			}
+			defer stopTel()
+			return runLive(pred, *live, *liveEvery, *livePid, *liveLoad && *livePid == 0, hub)
+		case *sweep != "":
+			return runSweep(*bench, *sweep, *phases, *intervals, *seed, *workers, os.Stdout)
+		default:
+			return run(*bench, *predictor, *phases, *depth, *entries, *window, *threshold, *intervals, *seed, *csvPath, *analyze, *telAddr)
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "phasemon:", err)
-			os.Exit(1)
-		}
-		return
+	}()
+	if perr := stopProf(); err == nil {
+		err = perr
 	}
-
-	if *sweep != "" {
-		if err := runSweep(*bench, *sweep, *phases, *intervals, *seed, *workers, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "phasemon:", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	if err := run(*bench, *predictor, *phases, *depth, *entries, *window, *threshold, *intervals, *seed, *csvPath, *analyze, *telAddr); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "phasemon:", err)
 		os.Exit(1)
 	}

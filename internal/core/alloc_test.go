@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"phasemon/internal/phase"
+)
+
+// allocSamples is a phase-cycling stimulus long enough to exercise PHT
+// hits, misses, and LRU evictions.
+func allocSamples(n int) []phase.Sample {
+	out := make([]phase.Sample, n)
+	for i := range out {
+		out[i] = phase.Sample{MemPerUop: float64(i%13) * 0.004, UPC: 1.2}
+	}
+	return out
+}
+
+// TestMonitorStepZeroAlloc is the hot-path memory contract of
+// DESIGN.md §10: with telemetry detached, a steady-state Monitor.Step
+// (classify, score, GPHT observe) performs zero heap allocations per
+// interval. Warm-up fills the GPHT's pattern table and index first, so
+// the measured window covers hits, misses, and evictions alike.
+func TestMonitorStepZeroAlloc(t *testing.T) {
+	cls := phase.Default()
+	g := MustNewGPHT(GPHTConfig{GPHRDepth: 8, PHTEntries: 128, NumPhases: cls.NumPhases()})
+	mon, err := NewMonitor(cls, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := allocSamples(4096)
+	for _, s := range samples {
+		mon.Step(s)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		mon.Step(samples[i%len(samples)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Monitor.Step steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestGPHTObserveZeroAlloc pins the predictor alone: both the
+// hit-dominated cyclic stream and a miss-dominated stream (more
+// distinct patterns than PHT capacity, so every interval evicts and
+// reinstalls) must run allocation-free. The miss case is what the
+// open-addressing index buys over the old map mirror, whose inserts
+// could grow buckets mid-run.
+func TestGPHTObserveZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		entries int
+	}{
+		{"hits", 1024},
+		{"evictions", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := MustNewGPHT(GPHTConfig{GPHRDepth: 8, PHTEntries: tc.entries, NumPhases: 6})
+			obs := make([]Observation, 512)
+			for i := range obs {
+				obs[i] = Observation{Phase: phase.ID(1 + (i+i/7)%6)}
+			}
+			for _, o := range obs {
+				g.Observe(o)
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(1000, func() {
+				g.Observe(obs[i%len(obs)])
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("GPHT.Observe(%s) allocates %.1f allocs/op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// TestGPHTResetNoRealloc: Reset clears the index in place, so a pooled
+// predictor can be recycled without rebuilding its tables.
+func TestGPHTResetNoRealloc(t *testing.T) {
+	g := MustNewGPHT(GPHTConfig{GPHRDepth: 8, PHTEntries: 64, NumPhases: 6})
+	for i := 0; i < 256; i++ {
+		g.Observe(Observation{Phase: phase.ID(1 + i%6)})
+	}
+	allocs := testing.AllocsPerRun(10, g.Reset)
+	if allocs != 0 {
+		t.Errorf("GPHT.Reset allocates %.1f allocs/op, want 0", allocs)
+	}
+	// The predictor must still work after an in-place reset.
+	if got := g.Observe(Observation{Phase: 3}); got != 3 {
+		t.Errorf("post-reset Observe = %v, want last-value fallback 3", got)
+	}
+}
+
+// BenchmarkMonitorStepAllocs is the canonical hot-path benchmark: one
+// telemetry-detached monitor step per op. B/op and allocs/op are the
+// contract (0 and 0 in steady state); ns/op tracks the classify +
+// score + predict cost the PMI handler pays per interval.
+func BenchmarkMonitorStepAllocs(b *testing.B) {
+	cls := phase.Default()
+	g := MustNewGPHT(GPHTConfig{GPHRDepth: 8, PHTEntries: 128, NumPhases: cls.NumPhases()})
+	mon, err := NewMonitor(cls, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := allocSamples(4096)
+	for _, s := range samples {
+		mon.Step(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon.Step(samples[i%len(samples)])
+	}
+}

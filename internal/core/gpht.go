@@ -78,8 +78,8 @@ type GPHT struct {
 	seen int        // observations so far (for warm-up accounting)
 
 	pht   []phtEntry
-	index map[uint64]int // tag -> slot, mirrors associative search
-	clock uint64         // LRU age source
+	index *phtIndex // tag -> slot, mirrors associative search
+	clock uint64    // LRU age source
 
 	// lastSlot is the PHT slot consulted (or installed) by the most
 	// recent prediction; its stored prediction is trained by the next
@@ -104,7 +104,7 @@ func NewGPHT(cfg GPHTConfig, opts ...Option) (*GPHT, error) {
 		name:     fmt.Sprintf("GPHT_%d_%d", cfg.GPHRDepth, cfg.PHTEntries),
 		gphr:     make([]phase.ID, cfg.GPHRDepth),
 		pht:      make([]phtEntry, cfg.PHTEntries),
-		index:    make(map[uint64]int, cfg.PHTEntries),
+		index:    newPHTIndex(cfg.PHTEntries),
 		lastSlot: -1,
 	}
 	g.tel = applyOptions(opts).tel
@@ -187,7 +187,7 @@ func (g *GPHT) Observe(o Observation) phase.ID {
 	g.seen++
 
 	tag := g.packTag()
-	if slot, ok := g.index[tag]; ok {
+	if slot, ok := g.index.get(tag); ok {
 		g.hits++
 		if g.tel != nil {
 			g.tel.GPHTHits.Inc()
@@ -211,11 +211,11 @@ func (g *GPHT) Observe(o Observation) phase.ID {
 	slot := g.victim()
 	old := &g.pht[slot]
 	if old.valid {
-		delete(g.index, old.tag)
+		g.index.del(old.tag)
 	}
 	g.clock++
 	*old = phtEntry{tag: tag, pred: phase.None, age: g.clock, valid: true}
-	g.index[tag] = slot
+	g.index.put(tag, slot)
 	g.lastSlot = slot
 	return actual
 }
@@ -267,7 +267,7 @@ func (g *GPHT) Reset() {
 	for i := range g.pht {
 		g.pht[i] = phtEntry{}
 	}
-	g.index = make(map[uint64]int, g.cfg.PHTEntries)
+	g.index.reset()
 	g.clock = 0
 	g.seen = 0
 	g.lastSlot = -1

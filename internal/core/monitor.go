@@ -69,6 +69,12 @@ func NewMonitor(cls phase.Classifier, pred Predictor, opts ...Option) (*Monitor,
 	return m, nil
 }
 
+// Telemetry returns the hub the monitor reports into, or nil when the
+// run is unobserved. Construction-time wiring (WithTelemetry) makes
+// this stable for the monitor's lifetime unless a caller retrofits a
+// hub through the deprecated setter.
+func (m *Monitor) Telemetry() *telemetry.Hub { return m.tel }
+
 // Classifier returns the monitor's classifier.
 func (m *Monitor) Classifier() phase.Classifier { return m.cls }
 

@@ -98,14 +98,14 @@ func (g *GPHT) UnmarshalBinary(data []byte) error {
 	g.hits = snap.Hits
 	g.misses = snap.Misses
 	g.pht = make([]phtEntry, len(snap.Entries))
-	g.index = make(map[uint64]int, len(snap.Entries))
+	g.index = newPHTIndex(len(snap.Entries))
 	for i, e := range snap.Entries {
 		g.pht[i] = phtEntry{tag: e.Tag, pred: e.Pred, age: e.Age, valid: e.Valid, conf: e.Conf}
 		if e.Valid {
-			if other, dup := g.index[e.Tag]; dup {
+			if other, dup := g.index.get(e.Tag); dup {
 				return fmt.Errorf("core: snapshot has duplicate tag %#x in slots %d and %d", e.Tag, other, i)
 			}
-			g.index[e.Tag] = i
+			g.index.put(e.Tag, i)
 		}
 	}
 	return nil

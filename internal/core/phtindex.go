@@ -1,0 +1,115 @@
+package core
+
+// phtIndex maps PHT tags to slots with open addressing so a steady-state
+// Observe never touches the heap: lookups, inserts after an eviction,
+// and deletes all work in the two fixed arrays allocated at
+// construction. It replaces the map the GPHT used to mirror its
+// associative search with — a map insert can grow buckets mid-run,
+// which shows up as per-interval allocations inside the PMI handler.
+//
+// The table is sized to the next power of two at or above twice the
+// PHT capacity, so the load factor never exceeds one half and linear
+// probe chains stay short. Deletion uses backward-shift compaction
+// (rather than tombstones), which keeps probe chains canonical no
+// matter how many evictions a long run performs.
+type phtIndex struct {
+	keys  []uint64
+	slots []int32 // slot+1; 0 marks an empty cell
+	mask  uint64
+}
+
+// newPHTIndex builds an index able to hold capacity entries.
+func newPHTIndex(capacity int) *phtIndex {
+	n := 4
+	for n < 2*capacity {
+		n <<= 1
+	}
+	return &phtIndex{
+		keys:  make([]uint64, n),
+		slots: make([]int32, n),
+		mask:  uint64(n - 1),
+	}
+}
+
+// hashTag finalizes a packed GPHR tag into a well-mixed table index.
+// Tags are dense bit patterns (4 bits per phase), so without mixing,
+// similar histories would collide in the low bits. This is the
+// splitmix64 finalizer.
+func hashTag(t uint64) uint64 {
+	t ^= t >> 30
+	t *= 0xbf58476d1ce4e5b9
+	t ^= t >> 27
+	t *= 0x94d049bb133111eb
+	t ^= t >> 31
+	return t
+}
+
+// get returns the slot stored for tag.
+func (ix *phtIndex) get(tag uint64) (slot int, ok bool) {
+	i := hashTag(tag) & ix.mask
+	for ix.slots[i] != 0 {
+		if ix.keys[i] == tag {
+			return int(ix.slots[i] - 1), true
+		}
+		i = (i + 1) & ix.mask
+	}
+	return 0, false
+}
+
+// put inserts or replaces the slot stored for tag.
+func (ix *phtIndex) put(tag uint64, slot int) {
+	i := hashTag(tag) & ix.mask
+	for ix.slots[i] != 0 {
+		if ix.keys[i] == tag {
+			ix.slots[i] = int32(slot + 1)
+			return
+		}
+		i = (i + 1) & ix.mask
+	}
+	ix.keys[i] = tag
+	ix.slots[i] = int32(slot + 1)
+}
+
+// del removes tag, compacting the probe chain behind it so later
+// lookups still find every remaining entry.
+func (ix *phtIndex) del(tag uint64) {
+	i := hashTag(tag) & ix.mask
+	for {
+		if ix.slots[i] == 0 {
+			return
+		}
+		if ix.keys[i] == tag {
+			break
+		}
+		i = (i + 1) & ix.mask
+	}
+	// Backward-shift deletion: walk the chain after i and move back any
+	// entry whose home position precedes the hole.
+	hole := i
+	j := i
+	for {
+		j = (j + 1) & ix.mask
+		if ix.slots[j] == 0 {
+			break
+		}
+		home := hashTag(ix.keys[j]) & ix.mask
+		// The entry at j may fill the hole iff the hole lies within
+		// [home, j] cyclically — i.e. probing from home reaches the hole
+		// no later than j.
+		if (j-home)&ix.mask >= (j-hole)&ix.mask {
+			ix.keys[hole] = ix.keys[j]
+			ix.slots[hole] = ix.slots[j]
+			hole = j
+		}
+	}
+	ix.keys[hole] = 0
+	ix.slots[hole] = 0
+}
+
+// reset empties the index in place, without reallocating.
+func (ix *phtIndex) reset() {
+	for i := range ix.slots {
+		ix.keys[i] = 0
+		ix.slots[i] = 0
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPHTIndexMatchesMap drives the open-addressing index and a plain
+// map through the same randomized insert/delete/lookup schedule and
+// requires identical answers throughout. Backward-shift deletion is
+// the delicate part; the schedule is deletion-heavy to exercise chain
+// compaction across wrapped probe sequences.
+func TestPHTIndexMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ix := newPHTIndex(64)
+	ref := map[uint64]int{}
+	live := make([]uint64, 0, 64)
+
+	for op := 0; op < 20000; op++ {
+		switch {
+		case len(live) < 64 && (len(live) == 0 || rng.Intn(2) == 0):
+			// Insert a fresh tag. Small tag space forces hash collisions.
+			tag := uint64(rng.Intn(4096))
+			if _, dup := ref[tag]; dup {
+				continue
+			}
+			slot := rng.Intn(1 << 20)
+			ix.put(tag, slot)
+			ref[tag] = slot
+			live = append(live, tag)
+		default:
+			i := rng.Intn(len(live))
+			tag := live[i]
+			if rng.Intn(4) == 0 {
+				// Re-point an existing tag at a new slot.
+				slot := rng.Intn(1 << 20)
+				ix.put(tag, slot)
+				ref[tag] = slot
+			} else {
+				ix.del(tag)
+				delete(ref, tag)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		// Every live tag must resolve; a handful of absent tags must not.
+		for _, tag := range live {
+			got, ok := ix.get(tag)
+			if !ok || got != ref[tag] {
+				t.Fatalf("op %d: get(%d) = %d,%v; want %d,true", op, tag, got, ok, ref[tag])
+			}
+		}
+		for probe := 0; probe < 4; probe++ {
+			tag := uint64(rng.Intn(4096))
+			if _, inRef := ref[tag]; inRef {
+				continue
+			}
+			if slot, ok := ix.get(tag); ok {
+				t.Fatalf("op %d: get(%d) = %d,true for deleted/absent tag", op, tag, slot)
+			}
+		}
+	}
+}
+
+func TestPHTIndexReset(t *testing.T) {
+	ix := newPHTIndex(8)
+	for tag := uint64(1); tag <= 8; tag++ {
+		ix.put(tag, int(tag))
+	}
+	ix.reset()
+	for tag := uint64(1); tag <= 8; tag++ {
+		if _, ok := ix.get(tag); ok {
+			t.Fatalf("tag %d survived reset", tag)
+		}
+	}
+	ix.put(42, 3)
+	if slot, ok := ix.get(42); !ok || slot != 3 {
+		t.Fatalf("post-reset insert lost: %d,%v", slot, ok)
+	}
+}

@@ -21,11 +21,10 @@ func benchSamples() []phase.Sample {
 func benchmarkStep(b *testing.B, hub *telemetry.Hub) {
 	cls := phase.Default()
 	g := MustNewGPHT(GPHTConfig{GPHRDepth: 8, PHTEntries: 128, NumPhases: cls.NumPhases()})
-	mon, err := NewMonitor(cls, g)
+	mon, err := NewMonitor(cls, g, WithTelemetry(hub))
 	if err != nil {
 		b.Fatal(err)
 	}
-	mon.SetTelemetry(hub)
 	samples := benchSamples()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -7,6 +7,10 @@ import (
 	"phasemon/internal/telemetry"
 )
 
+// TestMonitorStepInstrumentation doubles as the deprecated-shim test:
+// it wires the hub through SetTelemetry (the retrofit path kernelsim's
+// Load still needs) rather than WithTelemetry, and detaches with it at
+// the end. New code should use the construction-time option.
 func TestMonitorStepInstrumentation(t *testing.T) {
 	cls := phase.Default()
 	gpht := MustNewGPHT(GPHTConfig{GPHRDepth: 2, PHTEntries: 16, NumPhases: cls.NumPhases()})
@@ -16,6 +20,9 @@ func TestMonitorStepInstrumentation(t *testing.T) {
 	}
 	hub := telemetry.NewHub(cls.NumPhases())
 	mon.SetTelemetry(hub)
+	if mon.Telemetry() != hub {
+		t.Fatal("Telemetry() does not report the retrofitted hub")
+	}
 
 	// Phase 1 (Mem/Uop < 0.005), then phase 6 (> 0.030): one
 	// transition, one scored (mis)prediction.
@@ -68,12 +75,13 @@ func TestMonitorStepsMatchWithAndWithoutTelemetry(t *testing.T) {
 	cls := phase.Default()
 	mkMon := func(tel bool) *Monitor {
 		g := MustNewGPHT(GPHTConfig{GPHRDepth: 4, PHTEntries: 32, NumPhases: cls.NumPhases()})
-		m, err := NewMonitor(cls, g)
+		var opts []Option
+		if tel {
+			opts = append(opts, WithTelemetry(telemetry.NewHub(cls.NumPhases())))
+		}
+		m, err := NewMonitor(cls, g, opts...)
 		if err != nil {
 			t.Fatal(err)
-		}
-		if tel {
-			m.SetTelemetry(telemetry.NewHub(cls.NumPhases()))
 		}
 		return m
 	}

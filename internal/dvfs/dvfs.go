@@ -315,6 +315,22 @@ func NewController(l *Ladder, transitionLatency float64) *Controller {
 	return &Controller{ladder: l, current: l.Fastest(), transitionLatency: transitionLatency}
 }
 
+// NewControllerWithTelemetry is NewController with a hub attached at
+// construction, so operating-point changes are counted from the first
+// transition and no post-hoc setter is needed. A nil hub is the same
+// as NewController.
+func NewControllerWithTelemetry(l *Ladder, transitionLatency float64, h *telemetry.Hub) *Controller {
+	c := NewController(l, transitionLatency)
+	if h != nil {
+		c.tel = h
+		h.CurrentSetting.Set(float64(c.current))
+	}
+	return c
+}
+
+// Telemetry returns the hub the controller reports into, or nil.
+func (c *Controller) Telemetry() *telemetry.Hub { return c.tel }
+
 // Ladder returns the controller's ladder.
 func (c *Controller) Ladder() *Ladder { return c.ladder }
 
@@ -346,6 +362,11 @@ func (c *Controller) Set(s Setting) (cost float64, err error) {
 
 // SetTelemetry attaches a telemetry hub; operating-point changes are
 // then counted and journaled. Nil detaches.
+//
+// Deprecated: build the controller with NewControllerWithTelemetry (or
+// set machine.Config.Telemetry) so the wiring is fixed at
+// construction. The setter remains for retrofitting a hub onto an
+// already-built controller.
 func (c *Controller) SetTelemetry(h *telemetry.Hub) {
 	c.tel = h
 	if h != nil {

@@ -35,6 +35,7 @@ import (
 	"phasemon/internal/machine"
 	"phasemon/internal/phase"
 	"phasemon/internal/telemetry"
+	"phasemon/internal/wcache"
 	"phasemon/internal/workload"
 )
 
@@ -54,6 +55,12 @@ type Config struct {
 	// so every spec executes even when repeated — benchmarks measuring
 	// run throughput need this.
 	DisableCache bool
+	// DisableWorkloadCache turns off the shared workload-trace cache,
+	// so every run re-synthesizes its generator stream. Results are
+	// bit-identical either way (the cache stores exactly what the
+	// generator would emit); the switch exists for memory-constrained
+	// sweeps and for benchmarking synthesis cost.
+	DisableWorkloadCache bool
 	// Telemetry, when non-nil, observes the sweep live: run lifecycle
 	// counters, cache hits, queue depth, and per-run wall-time
 	// distribution, plus the usual monitor/DVFS instrumentation inside
@@ -66,6 +73,10 @@ type Config struct {
 // free.
 type Engine struct {
 	cfg Config
+
+	// traces shares materialized workload streams across runs; nil
+	// when Config.DisableWorkloadCache is set.
+	traces *wcache.Cache
 
 	mu       sync.Mutex
 	cache    map[string]*governor.Result
@@ -86,11 +97,15 @@ type flight struct {
 
 // New builds an engine.
 func New(cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		cache:    make(map[string]*governor.Result),
 		inflight: make(map[string]*flight),
 	}
+	if !cfg.DisableWorkloadCache {
+		e.traces = wcache.New(wcache.Config{Telemetry: cfg.Telemetry})
+	}
+	return e
 }
 
 // workers resolves the configured pool size.
@@ -239,7 +254,7 @@ func (e *Engine) executeResult(ctx context.Context, idx int, sp Spec) Result {
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := runSpec(runCtx, sp, tel)
+	res, err := runSpec(runCtx, sp, tel, e.traces)
 	elapsed := time.Since(start)
 	if tel != nil {
 		tel.FleetRunSeconds.Observe(elapsed.Seconds())
@@ -267,7 +282,9 @@ func (e *Engine) failure(idx int, sp Spec, err error, elapsed time.Duration) Res
 
 // runSpec materializes and executes one resolved spec: workload
 // profile, classifier, generator, translation, policy, governed run.
-func runSpec(ctx context.Context, sp Spec, tel *telemetry.Hub) (*governor.Result, error) {
+// A non-nil trace cache supplies shared, read-only workload streams;
+// otherwise each run synthesizes its own.
+func runSpec(ctx context.Context, sp Spec, tel *telemetry.Hub, traces *wcache.Cache) (*governor.Result, error) {
 	prof, err := workload.ByName(sp.Workload)
 	if err != nil {
 		return nil, err
@@ -279,14 +296,28 @@ func runSpec(ctx context.Context, sp Spec, tel *telemetry.Hub) (*governor.Result
 			return nil, err
 		}
 	}
-	gen := prof.Generator(workload.Params{
+	params := workload.Params{
 		GranularityUops: float64(sp.GranularityUops),
 		Seed:            sp.Seed,
 		Intervals:       sp.Intervals,
-	})
+	}
+	intervals := sp.Intervals
+	if intervals <= 0 {
+		intervals = prof.DefaultIntervals
+	}
+	var gen workload.Generator
+	if traces != nil {
+		gen = traces.Get(prof, params).Generator()
+	} else {
+		gen = prof.Generator(params)
+	}
 	cfg := governor.Config{
 		GranularityUops: sp.GranularityUops,
-		Telemetry:       tel,
+		// The run logs exactly one entry per interval; sizing the kernel
+		// log to that count (clamped to the module's default bound, so
+		// ring semantics are unchanged) makes the PMI path allocation-free.
+		LogCapacity: min(intervals, 65536),
+		Telemetry:   tel,
 	}
 	if tab != nil {
 		cfg.Classifier = tab

@@ -75,6 +75,53 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestWorkloadCacheDeterminism is the wcache invisibility contract:
+// sweeping with the shared workload-trace cache on and off must
+// produce bit-identical result fingerprints at every worker count.
+func TestWorkloadCacheDeterminism(t *testing.T) {
+	specs := sweepSpecs()
+	var want string
+	for _, disable := range []bool{false, true} {
+		for _, workers := range []int{1, 4, 16} {
+			e := New(Config{Workers: workers, BaseSeed: 42, DisableWorkloadCache: disable})
+			results, err := e.RunAll(context.Background(), specs)
+			if err != nil {
+				t.Fatalf("cacheOff=%v workers=%d: %v", disable, workers, err)
+			}
+			got := fingerprint(results)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("cacheOff=%v workers=%d diverged from cached workers=1:\n--- want\n%s--- got\n%s",
+					disable, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestWorkloadCacheShares: distinct specs over the same workload
+// stream synthesize the trace once; the remainder are cache hits.
+func TestWorkloadCacheShares(t *testing.T) {
+	hub := telemetry.NewHub(6)
+	e := New(Config{Workers: 2, Telemetry: hub})
+	_, err := e.RunAll(context.Background(), []Spec{
+		{Workload: "applu_in", Policy: "baseline", Intervals: 40},
+		{Workload: "applu_in", Policy: "gpht_8_128", Intervals: 40},
+		{Workload: "applu_in", Policy: "reactive", Intervals: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.WorkloadCacheMisses.Value(); got != 1 {
+		t.Errorf("WorkloadCacheMisses = %d, want 1 (one distinct trace)", got)
+	}
+	if got := hub.WorkloadCacheHits.Value(); got != 2 {
+		t.Errorf("WorkloadCacheHits = %d, want 2", got)
+	}
+}
+
 func TestSharedWorkloadStreams(t *testing.T) {
 	// Policies over the same workload must see the same input stream:
 	// with derived seeds, the baseline and managed runs retire the same

@@ -20,6 +20,7 @@ package governor
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"phasemon/internal/core"
 	"phasemon/internal/cpusim"
@@ -133,10 +134,46 @@ type Config struct {
 	// Machine configures the platform; the zero value selects all
 	// defaults. Set Machine.Recorder to capture the power waveform.
 	Machine machine.Config
+	// LogCapacity sizes the kernel log. Zero keeps the kernel module's
+	// default (65536-entry bound, grow on demand); a positive value is
+	// both the bound and a preallocation promise — callers that know
+	// the interval count (the fleet engine) pass it so the PMI path
+	// never grows the log mid-run.
+	LogCapacity int
 	// Telemetry, when non-nil, observes the run live: the kernel
 	// module wires it through the monitor, predictor, and DVFS
 	// controller, and the governor counts runs. Nil runs unobserved.
 	Telemetry *telemetry.Hub
+}
+
+// Default classifier and translation are immutable after construction,
+// so concurrent runs (the fleet engine's workers) share one instance
+// instead of rebuilding them per run — two fewer allocations and one
+// fewer validation pass on every governed run.
+var (
+	defaultClsOnce sync.Once
+	defaultCls     phase.Classifier
+
+	defaultTrOnce sync.Once
+	defaultTr     *dvfs.Translation
+	defaultTrErr  error
+)
+
+func defaultClassifier() phase.Classifier {
+	defaultClsOnce.Do(func() { defaultCls = phase.Default() })
+	return defaultCls
+}
+
+// defaultTranslation returns the identity translation over the
+// Pentium-M ladder for numPhases phases. The common case — the default
+// classifier's phase count — is cached; other counts (custom
+// classifiers with Translation left nil) build fresh.
+func defaultTranslation(numPhases int) (*dvfs.Translation, error) {
+	if numPhases == defaultClassifier().NumPhases() {
+		defaultTrOnce.Do(func() { defaultTr, defaultTrErr = dvfs.Identity(dvfs.PentiumM(), numPhases) })
+		return defaultTr, defaultTrErr
+	}
+	return dvfs.Identity(dvfs.PentiumM(), numPhases)
 }
 
 // Result is one policy's run outcome.
@@ -199,10 +236,10 @@ func RunContext(ctx context.Context, gen workload.Generator, pol Policy, cfg Con
 		return nil, err
 	}
 	if cfg.Classifier == nil {
-		cfg.Classifier = phase.Default()
+		cfg.Classifier = defaultClassifier()
 	}
 	if cfg.Translation == nil {
-		tr, err := dvfs.Identity(dvfs.PentiumM(), cfg.Classifier.NumPhases())
+		tr, err := defaultTranslation(cfg.Classifier.NumPhases())
 		if err != nil {
 			return nil, fmt.Errorf("governor: default translation: %w", err)
 		}
@@ -233,6 +270,7 @@ func RunContext(ctx context.Context, gen workload.Generator, pol Policy, cfg Con
 	modCfg := kernelsim.Config{
 		GranularityUops: cfg.GranularityUops,
 		Monitor:         mon,
+		LogCapacity:     cfg.LogCapacity,
 		Telemetry:       cfg.Telemetry,
 	}
 	if pol.Managed() {
@@ -244,6 +282,11 @@ func RunContext(ctx context.Context, gen workload.Generator, pol Policy, cfg Con
 		return nil, err
 	}
 
+	if mcfg.Telemetry == nil {
+		// Wire the hub into the DVFS controller at construction so the
+		// module's Load never needs the deprecated retrofit setters.
+		mcfg.Telemetry = cfg.Telemetry
+	}
 	m := machine.New(mcfg)
 	if err := mod.Load(m); err != nil {
 		return nil, err
@@ -268,10 +311,12 @@ func RunContext(ctx context.Context, gen workload.Generator, pol Policy, cfg Con
 	}
 
 	return &Result{
-		Policy:           pol.Name(),
-		Run:              run,
+		Policy: pol.Name(),
+		Run:    run,
+		// The module is discarded after this; DrainLog transfers the
+		// kernel log without the system-call copy ReadLog would make.
 		Accuracy:         mon.Tally(),
-		Log:              mod.ReadLog(),
+		Log:              mod.DrainLog(),
 		OverheadFraction: m.OverheadFraction(),
 		BudgetViolations: mod.BudgetViolations(),
 	}, nil
@@ -301,7 +346,15 @@ func FuturePhases(gen workload.Generator, cls phase.Classifier, m *machine.Machi
 	model := m.CPU()
 	fmax := m.DVFS().Ladder().Point(0).FrequencyHz
 	gen.Reset()
-	works := workload.Collect(gen, 0)
+	var works []cpusim.Work
+	if wv, ok := gen.(interface{ Works() []cpusim.Work }); ok {
+		// Cached-trace generators (the wcache cursor) expose their
+		// shared read-only backing slice; classifying it directly skips
+		// re-materializing the whole trace.
+		works = wv.Works()
+	} else {
+		works = workload.Collect(gen, 0)
+	}
 	obs, err := core.ObservationsFromWork(model, works, cls, fmax)
 	if err != nil {
 		return nil, err

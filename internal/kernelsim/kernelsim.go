@@ -57,7 +57,13 @@ type Config struct {
 	// the module's constraint violation counter. Zero selects 50 µs.
 	BudgetS float64
 	// LogCapacity bounds the kernel log (ring buffer); zero selects
-	// 65536 entries.
+	// 65536 entries. An explicit capacity is also a sizing promise: the
+	// log's backing array is preallocated in full at NewModule, so the
+	// PMI path never grows it — callers that know the run length (the
+	// governor, the fleet engine) pass it and get an allocation-free
+	// steady state from the first interval. With the zero default the
+	// log grows geometrically on demand up to the bound, which is
+	// amortized-free but not allocation-free until it stops growing.
 	LogCapacity int
 	// Telemetry, when non-nil, receives live instrumentation from the
 	// PMI path; Load also wires it into the monitor, predictor, and
@@ -132,23 +138,34 @@ func NewModule(cfg Config) (*Module, error) {
 	if cfg.Monitor == nil {
 		return nil, fmt.Errorf("kernelsim: config requires a Monitor")
 	}
+	prealloc := cfg.LogCapacity > 0
 	cfg = cfg.withDefaults()
 	if cfg.GranularityUops >= 1<<pmc.CounterWidth {
 		return nil, fmt.Errorf("kernelsim: granularity %d exceeds counter width", cfg.GranularityUops)
 	}
-	return &Module{cfg: cfg}, nil
+	mod := &Module{cfg: cfg}
+	if prealloc {
+		mod.log = make([]Entry, 0, cfg.LogCapacity)
+	}
+	return mod, nil
 }
 
 // Load installs the module on the machine: it configures and arms the
 // counters (the one-time initialization of Figure 8) and starts them.
 func (mod *Module) Load(m *machine.Machine) error {
-	if mod.cfg.Telemetry != nil {
-		// The monitor was built by the caller, so Load cannot use the
-		// construction-time core.WithTelemetry option; the deprecated
-		// setter is the supported path for retrofitting a hub here.
-		//lint:ignore SA1019 Load wires an already-built monitor.
-		mod.cfg.Monitor.SetTelemetry(mod.cfg.Telemetry)
-		m.DVFS().SetTelemetry(mod.cfg.Telemetry)
+	if tel := mod.cfg.Telemetry; tel != nil {
+		// Callers that wired the hub at construction time (the monitor
+		// via core.WithTelemetry, the machine via Config.Telemetry) pass
+		// through untouched; the deprecated setters are invoked only to
+		// retrofit a hub onto components built without one.
+		if mod.cfg.Monitor.Telemetry() != tel {
+			//lint:ignore SA1019 Load retrofits an already-built monitor.
+			mod.cfg.Monitor.SetTelemetry(tel)
+		}
+		if m.DVFS().Telemetry() != tel {
+			//lint:ignore SA1019 Load retrofits an already-built controller.
+			m.DVFS().SetTelemetry(tel)
+		}
 	}
 	b := m.PMCs()
 	if err := b.Configure(SlotUops, pmc.EventUopsRetired, true); err != nil {
@@ -281,12 +298,49 @@ func (mod *Module) BudgetViolations() int { return mod.budgetViolations }
 func (mod *Module) Samples() int { return mod.index }
 
 // ReadLog returns a copy of the kernel log, oldest first — the
-// system-call interface the paper's user-level tool uses.
+// system-call interface the paper's user-level tool uses. An empty log
+// reads as nil rather than a freshly allocated empty slice.
 func (mod *Module) ReadLog() []Entry {
+	if len(mod.log) == 0 {
+		return nil
+	}
 	out := make([]Entry, 0, len(mod.log))
 	out = append(out, mod.log[mod.logStart:]...)
 	out = append(out, mod.log[:mod.logStart]...)
 	return out
+}
+
+// DrainLog hands the kernel log to the caller without copying: the
+// module's backing array is rotated in place to oldest-first order,
+// detached, and returned; the module starts a fresh (empty) log. This
+// is the post-run path for owners that discard the module afterwards —
+// the governor reads the log exactly once into its Result, so the
+// system-call copy ReadLog models would be pure garbage. Use ReadLog
+// when the module keeps running.
+func (mod *Module) DrainLog() []Entry {
+	out := mod.log
+	if mod.logStart > 0 {
+		rotateLeft(out, mod.logStart)
+	}
+	mod.log = nil
+	mod.logStart = 0
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// rotateLeft rotates s left by k in place (three reversals).
+func rotateLeft(s []Entry, k int) {
+	reverse(s[:k])
+	reverse(s[k:])
+	reverse(s)
+}
+
+func reverse(s []Entry) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
 }
 
 // Reconfigure swaps the phase-to-DVFS translation table — the paper's
@@ -316,7 +370,7 @@ func safeDiv(a, b float64) float64 {
 // form for export and analysis. The ladder supplies per-setting
 // frequencies so interval durations can be reconstructed from cycles.
 func ToTrace(entries []Entry, ladder *dvfs.Ladder) *trace.Log {
-	log := trace.NewLog()
+	log := trace.NewLogWithCap(len(entries))
 	var t float64
 	for _, e := range entries {
 		var freq, dur float64

@@ -21,6 +21,7 @@ var simulationPackages = []string{
 	"internal/stats",
 	"internal/thermal",
 	"internal/trace",
+	"internal/wcache",
 	"internal/workload",
 }
 

@@ -1,0 +1,75 @@
+// Package profiling attaches the standard runtime/pprof CPU and heap
+// profiles to a command-line run. The CLIs expose it as -cpuprofile
+// and -memprofile; the returned stop function must run on every exit
+// path — including error paths that end in os.Exit, which skips
+// deferred calls — because pprof.StopCPUProfile flushes buffered
+// samples and the heap profile is only captured at stop time.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges
+// for a heap profile to be written to memPath (when non-empty) by the
+// returned stop function. Stop is always non-nil and idempotent: the
+// first call flushes and closes the CPU profile and captures the heap
+// profile, later calls are no-ops. Empty paths disable the respective
+// profile, so callers can wire flag values through unconditionally.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return noop, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return noop, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("profiling: close CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			if err := writeHeapProfile(memPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+func noop() error { return nil }
+
+// writeHeapProfile forces a GC first so the profile reflects live
+// objects rather than garbage awaiting collection — the same choice
+// net/http/pprof makes for /debug/pprof/heap.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: write heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("profiling: close heap profile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("disabled stop: %v", err)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so both profiles have something to
+	// record; the files must be non-empty either way because pprof
+	// writes headers unconditionally.
+	sink := make([]byte, 1<<16)
+	for i := range sink {
+		sink[i] = byte(i)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	_ = sink
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// Idempotent: a second stop is a no-op, not a double-close.
+	if err := stop(); err != nil {
+		t.Errorf("second stop: %v", err)
+	}
+}
+
+func TestStartBadCPUPath(t *testing.T) {
+	stop, err := Start(filepath.Join(t.TempDir(), "missing", "cpu.pprof"), "")
+	if err == nil {
+		t.Fatal("want error for uncreatable CPU profile path")
+	}
+	if stop == nil {
+		t.Fatal("stop must be non-nil even on error")
+	}
+	if err := stop(); err != nil {
+		t.Errorf("error-path stop: %v", err)
+	}
+}
+
+func TestStopReportsBadMemPath(t *testing.T) {
+	stop, err := Start("", filepath.Join(t.TempDir(), "missing", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("want error for uncreatable heap profile path")
+	}
+}

@@ -37,6 +37,10 @@ const (
 	MetricFleetCompleted   = "phasemon_fleet_runs_completed_total"
 	MetricFleetFailed      = "phasemon_fleet_runs_failed_total"
 	MetricFleetCacheHits   = "phasemon_fleet_cache_hits_total"
+	MetricWorkloadHits     = "phasemon_workload_cache_hits_total"
+	MetricWorkloadMisses   = "phasemon_workload_cache_misses_total"
+	MetricWorkloadEvicted  = "phasemon_workload_cache_evictions_total"
+	MetricWorkloadSamples  = "phasemon_workload_cache_samples"
 	MetricFleetQueueDepth  = "phasemon_fleet_queue_depth"
 	MetricFleetRunSeconds  = "phasemon_fleet_run_seconds"
 	MetricCurrentPhase     = "phasemon_monitor_current_phase"
@@ -86,6 +90,11 @@ type Hub struct {
 	FleetFailed    *Counter
 	FleetCacheHits *Counter
 
+	// Workload-trace cache counters (the wcache package).
+	WorkloadCacheHits      *Counter
+	WorkloadCacheMisses    *Counter
+	WorkloadCacheEvictions *Counter
+
 	// Gauges of current state.
 	CurrentPhase   *Gauge
 	PredictedPhase *Gauge
@@ -93,6 +102,9 @@ type Hub struct {
 	// FleetQueueDepth is the number of fleet run specs accepted but not
 	// yet finished.
 	FleetQueueDepth *Gauge
+	// WorkloadCacheSamples is the total number of work items currently
+	// held by the workload-trace cache.
+	WorkloadCacheSamples *Gauge
 
 	// Distributions.
 	MemPerUop   *Histogram
@@ -133,10 +145,16 @@ func NewHub(numPhases int) *Hub {
 		FleetCompleted:   reg.Counter(MetricFleetCompleted),
 		FleetFailed:      reg.Counter(MetricFleetFailed),
 		FleetCacheHits:   reg.Counter(MetricFleetCacheHits),
-		CurrentPhase:     reg.Gauge(MetricCurrentPhase),
-		PredictedPhase:   reg.Gauge(MetricPredictedPhase),
-		CurrentSetting:   reg.Gauge(MetricCurrentSetting),
-		FleetQueueDepth:  reg.Gauge(MetricFleetQueueDepth),
+
+		WorkloadCacheHits:      reg.Counter(MetricWorkloadHits),
+		WorkloadCacheMisses:    reg.Counter(MetricWorkloadMisses),
+		WorkloadCacheEvictions: reg.Counter(MetricWorkloadEvicted),
+
+		CurrentPhase:         reg.Gauge(MetricCurrentPhase),
+		PredictedPhase:       reg.Gauge(MetricPredictedPhase),
+		CurrentSetting:       reg.Gauge(MetricCurrentSetting),
+		FleetQueueDepth:      reg.Gauge(MetricFleetQueueDepth),
+		WorkloadCacheSamples: reg.Gauge(MetricWorkloadSamples),
 	}
 	h.MemPerUop, _ = reg.Histogram(MetricMemPerUop, DefaultMemPerUopBounds)
 	h.HandlerCost, _ = reg.Histogram(MetricHandlerSeconds, DefaultHandlerBounds)

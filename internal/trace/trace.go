@@ -58,6 +58,16 @@ type Log struct {
 // NewLog returns an empty log.
 func NewLog() *Log { return &Log{} }
 
+// NewLogWithCap returns an empty log whose backing array holds n
+// records without growing — the grow-once path for builders that know
+// the record count up front (ToTrace, CSV import, waveform reduction).
+func NewLogWithCap(n int) *Log {
+	if n <= 0 {
+		return &Log{}
+	}
+	return &Log{records: make([]Record, 0, n)}
+}
+
 // Append adds a record.
 func (l *Log) Append(r Record) { l.records = append(l.records, r) }
 
@@ -147,7 +157,7 @@ func ReadCSV(r io.Reader) (*Log, error) {
 	if len(rows[0]) != len(csvHeader) {
 		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(rows[0]), len(csvHeader))
 	}
-	l := NewLog()
+	l := NewLogWithCap(len(rows) - 1)
 	for i, row := range rows[1:] {
 		rec, err := parseRow(row)
 		if err != nil {
