@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all build test test-short check lint fleet-race race bench bench-json bench-smoke experiments extensions csv clean
+.PHONY: all build test test-short check lint fleet-race race serve-smoke bench bench-json bench-smoke experiments extensions csv clean
 
 all: build test
 
@@ -33,12 +33,19 @@ endif
 fleet-race:
 	$(GO) test -race -count=1 ./internal/fleet ./internal/governor
 
-# The strict gate: lint, the fleet determinism suite, then the full
-# suite under the race detector. The telemetry hot paths are lock-free
-# atomics shared with HTTP readers, so -race is part of the default
-# bar, not an extra.
+# The strict gate: lint, the fleet determinism suite, the full suite
+# under the race detector, then a live client/server smoke over real
+# sockets. The telemetry hot paths are lock-free atomics shared with
+# HTTP readers, so -race is part of the default bar, not an extra.
 check: lint fleet-race
 	$(GO) test -race ./...
+	$(MAKE) serve-smoke
+
+# End-to-end smoke of the serving stack (DESIGN.md §11): start phased,
+# replay workloads through phasefeed with the bit-identity check on,
+# SIGTERM, and assert a clean drain with zero protocol errors.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 test: check
 
@@ -71,6 +78,8 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetSweep$$' -benchmem -benchtime=$(BENCHTIME) ./internal/fleet >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkMonitorStepAllocs$$' -benchmem -benchtime=$(BENCHTIME) ./internal/core >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkWorkloadCache$$' -benchmem -benchtime=$(BENCHTIME) ./internal/wcache >> out/bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkWireRoundTrip$$' -benchmem -benchtime=$(BENCHTIME) ./internal/wire >> out/bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSessionStep$$' -benchmem -benchtime=$(BENCHTIME) ./internal/phased >> out/bench.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) out/bench.txt
 	@echo "wrote $(BENCH_JSON)"
 

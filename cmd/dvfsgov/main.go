@@ -22,6 +22,7 @@ import (
 	"phasemon/internal/fleet"
 	"phasemon/internal/governor"
 	"phasemon/internal/phase"
+	"phasemon/internal/phased"
 	"phasemon/internal/profiling"
 	"phasemon/internal/telemetry"
 	"phasemon/internal/workload"
@@ -77,12 +78,15 @@ func startTelemetry(addr string, numPhases int) (*telemetry.Hub, func(), error) 
 		return nil, func() {}, nil
 	}
 	hub := telemetry.NewHub(numPhases)
-	bound, shutdown, err := hub.Serve(addr)
+	bound, shutdown, err := hub.ServePrefix(addr, "")
 	if err != nil {
 		return nil, nil, fmt.Errorf("telemetry: %w", err)
 	}
 	fmt.Printf("telemetry: serving http://%s (/metrics, /snapshot, /events)\n", bound)
-	return hub, shutdown, nil
+	// Graceful, bounded exit: in-flight scrapes finish instead of
+	// being cut off mid-response, and repeated stops are safe.
+	drainer := phased.NewDrainer(2*time.Second, phased.DrainFunc(shutdown))
+	return hub, func() { _ = drainer.Drain() }, nil
 }
 
 func run(bench, policy string, depth, entries, intervals int, seed int64, compare bool, bound float64, telemetryAddr string, workers int) error {

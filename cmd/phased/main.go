@@ -1,0 +1,88 @@
+// Command phased runs the streaming phase-prediction service: monitored
+// nodes connect over TCP, negotiate a predictor spec per session, and
+// stream per-interval PMC samples; the server answers each with the
+// classified phase, the predicted next phase, and the DVFS setting the
+// paper's translation assigns it.
+//
+// The process drains gracefully on SIGINT/SIGTERM: queued samples
+// flush, every open session receives a Drain frame, the telemetry
+// listener finishes in-flight scrapes, and the process exits 0 — the
+// contract the serve-smoke harness asserts.
+//
+// Usage:
+//
+//	phased [-addr 127.0.0.1:0] [-metrics-addr :9100] [-workers N]
+//	       [-queue-depth N] [-max-sessions-per-ip N]
+//	       [-read-timeout 30s] [-write-timeout 5s] [-drain-timeout 10s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"phasemon/internal/phase"
+	"phasemon/internal/phased"
+	"phasemon/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:0", "TCP address to serve the wire protocol on")
+		metricsAddr  = flag.String("metrics-addr", "", "serve phasemon_phased_* telemetry over HTTP on this address (empty = disabled)")
+		workers      = flag.Int("workers", 0, "prediction worker pool size (0 = default)")
+		queueDepth   = flag.Int("queue-depth", 0, "per-session sample queue bound, drop-oldest on overflow (0 = default)")
+		perIP        = flag.Int("max-sessions-per-ip", 0, "concurrent session cap per client IP (0 = default, negative = unlimited)")
+		readTimeout  = flag.Duration("read-timeout", 0, "per-read idle deadline (0 = default)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-frame write deadline; slow clients past it are dropped (0 = default)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+	if err := run(*addr, *metricsAddr, *workers, *queueDepth, *perIP, *readTimeout, *writeTimeout, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "phased: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, metricsAddr string, workers, queueDepth, perIP int, readTimeout, writeTimeout, drainTimeout time.Duration) error {
+	hub := telemetry.NewHub(phase.Default().NumPhases())
+	srv, err := phased.New(phased.Config{
+		Workers:          workers,
+		QueueDepth:       queueDepth,
+		MaxSessionsPerIP: perIP,
+		ReadTimeout:      readTimeout,
+		WriteTimeout:     writeTimeout,
+		Telemetry:        hub,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phased: listening on %s\n", bound)
+
+	targets := []phased.Drainable{srv}
+	if metricsAddr != "" {
+		mb, stopMetrics, err := hub.ServePrefix(metricsAddr, telemetry.PhasedPrefix)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		fmt.Printf("phased: metrics on http://%s/metrics\n", mb)
+		targets = append(targets, phased.DrainFunc(stopMetrics))
+	}
+
+	drainer := phased.NewDrainer(drainTimeout, targets...)
+	done := make(chan os.Signal, 1)
+	stop := drainer.OnSignal(func(sig os.Signal) { done <- sig })
+	defer stop()
+
+	sig := <-done
+	fmt.Printf("phased: %s received, drained (frames_in=%d frames_out=%d dropped_samples=%d protocol_errors=%d)\n",
+		sig,
+		hub.PhasedFramesIn.Value(), hub.PhasedFramesOut.Value(),
+		hub.PhasedDroppedSamples.Value(), hub.PhasedProtocolErrors.Value())
+	return nil
+}

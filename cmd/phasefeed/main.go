@@ -1,0 +1,239 @@
+// Command phasefeed replays workload traces against a phased server as
+// a fleet of simulated monitored nodes. Each node runs the workload
+// locally first (through the governor, monitoring-only), then streams
+// the run's raw per-interval counters to the server at a configurable
+// rate; with -check it also verifies that every streamed prediction is
+// bit-identical to what the local run produced — the end-to-end
+// determinism contract of the serving stack.
+//
+// The exit status is the verdict: 0 when every node drained cleanly
+// with no mismatches, dropped samples, or server errors; 1 otherwise.
+//
+// Usage:
+//
+//	phasefeed -addr HOST:PORT [-nodes 4] [-workload mcf_inp]
+//	          [-intervals 400] [-spec gpht_8_128] [-rate 0]
+//	          [-seed 1] [-check] [-timeout 60s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"phasemon/internal/dvfs"
+	"phasemon/internal/governor"
+	"phasemon/internal/kernelsim"
+	"phasemon/internal/phaseclient"
+	"phasemon/internal/wcache"
+	"phasemon/internal/wire"
+	"phasemon/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "phased server address (required)")
+		nodes     = flag.Int("nodes", 4, "concurrent simulated nodes")
+		profile   = flag.String("workload", "mcf_inp", "workload profile each node replays")
+		intervals = flag.Int("intervals", 400, "sampling intervals per node")
+		spec      = flag.String("spec", "gpht_8_128", "predictor spec to negotiate")
+		rate      = flag.Float64("rate", 0, "samples per second per node (0 = full speed)")
+		seed      = flag.Int64("seed", 1, "base workload seed; node i uses seed+i")
+		check     = flag.Bool("check", true, "verify streamed predictions are bit-identical to the local run")
+		timeout   = flag.Duration("timeout", 60*time.Second, "overall run deadline")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "phasefeed: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ok, err := run(*addr, *nodes, *profile, *intervals, *spec, *rate, *seed, *check, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phasefeed: %v\n", err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// nodeResult is one node's outcome.
+type nodeResult struct {
+	samples     int
+	predictions int
+	mismatches  int
+	dropped     uint64
+	err         error
+}
+
+func run(addr string, nodes int, profileName string, intervals int, spec string, rate float64, seed int64, check bool, timeout time.Duration) (bool, error) {
+	prof, err := workload.ByName(profileName)
+	if err != nil {
+		return false, err
+	}
+	pol, err := governor.PolicyFromSpec(governor.MonitorPrefix + spec)
+	if err != nil {
+		return false, err
+	}
+	trans, err := dvfs.Identity(dvfs.PentiumM(), 6)
+	if err != nil {
+		return false, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	// Every node shares one trace cache: nodes with the same seed reuse
+	// the materialized interval stream instead of regenerating it.
+	cache := wcache.New(wcache.Config{})
+	results := make([]nodeResult, nodes)
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = feedNode(ctx, addr, uint64(i+1), prof, cache,
+				workload.Params{Seed: seed + int64(i), Intervals: intervals},
+				pol, trans, spec, rate, check)
+		}(i)
+	}
+	wg.Wait()
+
+	var total nodeResult
+	ok := true
+	for i, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "phasefeed: node %d: %v\n", i+1, r.err)
+			ok = false
+		}
+		total.samples += r.samples
+		total.predictions += r.predictions
+		total.mismatches += r.mismatches
+		total.dropped += r.dropped
+	}
+	if total.mismatches > 0 || (check && total.dropped > 0) {
+		ok = false
+	}
+	fmt.Printf("phasefeed: nodes=%d samples=%d predictions=%d mismatches=%d dropped=%d ok=%v\n",
+		nodes, total.samples, total.predictions, total.mismatches, total.dropped, ok)
+	return ok, nil
+}
+
+// feedNode runs one simulated node: local governed run, then stream
+// and (optionally) verify.
+func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profile, cache *wcache.Cache, params workload.Params, pol governor.Policy, trans *dvfs.Translation, spec string, rate float64, check bool) nodeResult {
+	var res nodeResult
+	trace := cache.Get(prof, params)
+	local, err := governor.RunContext(ctx, trace.Generator(), pol, governor.Config{})
+	if err != nil {
+		res.err = fmt.Errorf("local run: %w", err)
+		return res
+	}
+	log := local.Log
+
+	cl := phaseclient.New(phaseclient.Config{Addr: addr, MaxAttempts: 8})
+	defer cl.Close()
+	sess, _, err := cl.Open(ctx, id, spec, 100e6)
+	if err != nil {
+		res.err = fmt.Errorf("open: %w", err)
+		return res
+	}
+
+	// Windowed lockstep: at most window samples outstanding, so a
+	// checking run can never overflow the server's bounded queue (which
+	// would evict samples and — by design — fork the prediction
+	// sequence away from the local run).
+	const window = 32
+	tokens := make(chan struct{}, window)
+	sendErr := make(chan error, 1)
+	go func() {
+		var tick *time.Ticker
+		if rate > 0 {
+			tick = time.NewTicker(time.Duration(float64(time.Second) / rate))
+			defer tick.Stop()
+		}
+		for i, e := range log {
+			if tick != nil {
+				select {
+				case <-tick.C:
+				case <-ctx.Done():
+					sendErr <- ctx.Err()
+					return
+				}
+			}
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				sendErr <- ctx.Err()
+				return
+			}
+			if err := sess.Send(wire.Sample{
+				Seq:    uint64(i),
+				Uops:   e.Uops,
+				MemTx:  e.MemTx,
+				Cycles: e.Cycles,
+			}); err != nil {
+				sendErr <- fmt.Errorf("send #%d: %w", i, err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	// Receive until the final sample's prediction: drop-oldest always
+	// keeps the newest sample and drain flushes the queue, so the last
+	// sequence number is guaranteed to be answered. Every prediction
+	// releases its own window token plus one per sample evicted since
+	// the previous prediction, so the sender can never wedge.
+	var prevDropped uint64
+	for len(log) > 0 {
+		p, err := sess.Recv(ctx)
+		if err != nil {
+			res.err = fmt.Errorf("recv after %d predictions: %w", res.predictions, err)
+			return res
+		}
+		res.predictions++
+		res.dropped = p.Dropped
+		for j := 0; j < 1+int(p.Dropped-prevDropped); j++ {
+			select {
+			case <-tokens:
+			default:
+			}
+		}
+		prevDropped = p.Dropped
+		if check {
+			res.mismatches += verify(&p, log, trans)
+		}
+		if p.Seq == uint64(len(log)-1) {
+			break
+		}
+	}
+	res.samples = len(log)
+	if err := <-sendErr; err != nil {
+		res.err = err
+		return res
+	}
+	if d, err := sess.Drain(ctx); err != nil {
+		res.err = fmt.Errorf("drain: %w", err)
+	} else if want := uint64(len(log) - 1); d.LastSeq != want {
+		res.err = fmt.Errorf("drain LastSeq = %d, want %d", d.LastSeq, want)
+	}
+	return res
+}
+
+// verify compares one streamed prediction against the local run.
+func verify(p *wire.Prediction, log []kernelsim.Entry, trans *dvfs.Translation) int {
+	i := int(p.Seq)
+	if i >= len(log) {
+		return 1
+	}
+	e := log[i]
+	if p.Actual != uint8(e.Actual) || p.Next != uint8(e.Predicted) ||
+		p.Setting != uint8(trans.Setting(e.Predicted)) {
+		return 1
+	}
+	return 0
+}

@@ -270,9 +270,14 @@ func TestRunFailuresPropagate(t *testing.T) {
 func TestCancellationNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
+	// Runs must be long enough that the whole sweep cannot finish in
+	// the gap between the first result arriving and cancel() landing —
+	// at 400 intervals the zero-alloc hot path races through all 32
+	// specs first and no run is left to cancel. Canceled runs abort at
+	// interval granularity, so the long tail costs nothing.
 	specs := make([]Spec, 32)
 	for i := range specs {
-		specs[i] = Spec{Workload: "applu_in", Policy: "gpht_8_128", Intervals: 400, Seed: int64(i + 1)}
+		specs[i] = Spec{Workload: "applu_in", Policy: "gpht_8_128", Intervals: 50000, Seed: int64(i + 1)}
 	}
 	e := New(Config{Workers: 8, DisableCache: true})
 	ch := e.Run(ctx, specs)

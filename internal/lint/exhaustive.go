@@ -17,13 +17,16 @@ type enumType struct{ pkg, typ string }
 
 // enforcedEnums are the taxonomies a new bin must never silently fall
 // out of: the six phase classes (Table 1), the SpeedStep operating
-// points (Table 2), the telemetry journal's event kinds, and the fleet
-// engine's run statuses.
+// points (Table 2), the telemetry journal's event kinds, the fleet
+// engine's run statuses, the serving protocol's frame kinds, and the
+// phased session lifecycle.
 var enforcedEnums = []enumType{
 	{"phase", "Class"},
 	{"dvfs", "Setting"},
 	{"telemetry", "EventKind"},
 	{"fleet", "Status"},
+	{"wire", "FrameKind"},
+	{"phased", "SessionState"},
 }
 
 // ExhaustiveAnalyzer requires every switch over an enforced enum type
@@ -33,8 +36,9 @@ var enforcedEnums = []enumType{
 // compiles cleanly while every switch quietly drops the new bin.
 var ExhaustiveAnalyzer = &Analyzer{
 	Name: "exhaustive",
-	Doc: "switches over phase.Class, dvfs.Setting, telemetry.EventKind and " +
-		"fleet.Status must cover all constants or reject unknowns in a default",
+	Doc: "switches over phase.Class, dvfs.Setting, telemetry.EventKind, " +
+		"fleet.Status, wire.FrameKind and phased.SessionState must cover " +
+		"all constants or reject unknowns in a default",
 	Run: runExhaustive,
 }
 

@@ -5,6 +5,8 @@ import (
 	"exhaustive/dvfs"
 	"exhaustive/fleet"
 	"exhaustive/phase"
+	"exhaustive/phased"
+	"exhaustive/wire"
 )
 
 func missingCases(c phase.Class) int {
@@ -30,6 +32,25 @@ func missingStatus(s fleet.Status) bool {
 	switch s { // want `switch over fleet.Status is not exhaustive: missing StatusFailed, StatusCanceled`
 	case fleet.StatusOK, fleet.StatusCached:
 		return true
+	}
+	return false
+}
+
+func missingFrameKinds(k wire.FrameKind) int {
+	switch k { // want `switch over wire.FrameKind is not exhaustive: missing KindInvalid, KindAck, KindPrediction, KindDrain, KindError`
+	case wire.KindHello:
+		return 1
+	case wire.KindSample:
+		return 3
+	}
+	return 0
+}
+
+func emptyDefaultState(s phased.SessionState) bool {
+	switch s {
+	case phased.StateOpen:
+		return true
+	default: // want `switch over phased.SessionState has an empty default`
 	}
 	return false
 }

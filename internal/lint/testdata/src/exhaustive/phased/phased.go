@@ -1,0 +1,11 @@
+// Fixture model of internal/phased's SessionState enum.
+package phased
+
+type SessionState uint8
+
+const (
+	StateNegotiating SessionState = iota
+	StateOpen
+	StateDraining
+	StateClosed
+)

@@ -1,0 +1,14 @@
+// Fixture model of internal/wire's FrameKind enum.
+package wire
+
+type FrameKind uint8
+
+const (
+	KindInvalid FrameKind = iota
+	KindHello
+	KindAck
+	KindSample
+	KindPrediction
+	KindDrain
+	KindError
+)

@@ -7,6 +7,8 @@ import (
 	"exhaustive/dvfs"
 	"exhaustive/fleet"
 	"exhaustive/phase"
+	"exhaustive/phased"
+	"exhaustive/wire"
 )
 
 // full covers every declared constant; no default needed.
@@ -56,6 +58,37 @@ func partialStatusWithDefault(s fleet.Status) (bool, error) {
 		return true, nil
 	default:
 		return false, errors.New("run did not succeed")
+	}
+}
+
+// fullFrameKind covers every wire frame kind; no default needed.
+func fullFrameKind(k wire.FrameKind) string {
+	switch k {
+	case wire.KindInvalid:
+		return "invalid"
+	case wire.KindHello:
+		return "hello"
+	case wire.KindAck:
+		return "ack"
+	case wire.KindSample:
+		return "sample"
+	case wire.KindPrediction:
+		return "prediction"
+	case wire.KindDrain:
+		return "drain"
+	case wire.KindError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// partialStateWithDefault rejects unknown session states explicitly.
+func partialStateWithDefault(s phased.SessionState) (bool, error) {
+	switch s {
+	case phased.StateOpen, phased.StateDraining:
+		return true, nil
+	default:
+		return false, errors.New("session not serving")
 	}
 }
 

@@ -1,0 +1,420 @@
+// Package phaseclient is the client side of the phased wire protocol:
+// it dials the streaming phase-prediction service with exponential
+// backoff, multiplexes sessions over one connection, and hands each
+// session a simple Send/Recv/Drain surface. A monitored node embeds a
+// Client, opens a session naming its predictor spec, and streams one
+// Sample per sampling interval; predictions come back asynchronously
+// so the node can pipeline sends ahead of receives.
+//
+// The client reconnects between sessions, not within one: a dropped
+// connection fails every open session with ErrDisconnected (the
+// server-side predictor state died with the connection, so resuming a
+// stream would silently break the prediction sequence), and the next
+// Open redials with jittered exponential backoff under the caller's
+// context.
+package phaseclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"phasemon/internal/wire"
+)
+
+// ErrDisconnected reports that the connection carrying a session died;
+// the session cannot be resumed and must be re-opened.
+var ErrDisconnected = errors.New("phaseclient: connection lost")
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("phaseclient: client closed")
+
+// ServerError is an Error frame the server addressed to us.
+type ServerError struct {
+	Code      wire.ErrorCode
+	SessionID uint64
+	Msg       string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("phaseclient: server error %v (session %d): %s", e.Code, e.SessionID, e.Msg)
+}
+
+// Config parameterizes a Client; the zero value (plus Addr) works.
+type Config struct {
+	// Addr is the server's host:port.
+	Addr string
+	// DialTimeout bounds one connection attempt. Zero selects 5s.
+	DialTimeout time.Duration
+	// BackoffBase is the first retry delay; it doubles per failed
+	// attempt. Zero selects 50ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the retry delay. Zero selects 2s.
+	BackoffMax time.Duration
+	// MaxAttempts bounds connection attempts per dial; zero retries
+	// until the context is done.
+	MaxAttempts int
+	// Window is each session's prediction receive buffer (frames the
+	// reader can stay ahead of Recv). Zero selects 1024.
+	Window int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.Window <= 0 {
+		c.Window = 1024
+	}
+	return c
+}
+
+// Client multiplexes prediction sessions over one connection to a
+// phased server, redialing (with backoff) whenever a fresh session
+// finds the connection gone. All methods are safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu       sync.Mutex
+	conn     net.Conn
+	wbuf     []byte
+	sessions map[uint64]*Session
+	closed   bool
+	rng      *rand.Rand
+}
+
+// New builds a client; no connection is made until the first Open.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg:      cfg,
+		sessions: make(map[uint64]*Session),
+		// Jitter decorrelates a fleet of reconnecting clients; it has
+		// no bearing on prediction determinism, which lives entirely
+		// server-side.
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Session is one open prediction stream.
+type Session struct {
+	c  *Client
+	id uint64
+
+	acks  chan wire.Ack
+	preds chan wire.Prediction
+	drain chan wire.Drain
+	errs  chan error
+
+	failOnce sync.Once
+	done     chan struct{}
+}
+
+// Open dials if necessary (retrying with jittered exponential backoff
+// until ctx is done or MaxAttempts is spent), performs the
+// Hello/Ack handshake for the given session id and predictor spec,
+// and returns the live session. numPhases is the server's phase count
+// from the Ack.
+func (c *Client) Open(ctx context.Context, id uint64, spec string, granularityUops uint64) (sess *Session, numPhases int, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	if c.sessions[id] != nil {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("phaseclient: session %d already open", id)
+	}
+	if c.conn == nil {
+		conn, derr := c.dialLocked(ctx)
+		if derr != nil {
+			c.mu.Unlock()
+			return nil, 0, derr
+		}
+		c.conn = conn
+		go c.readLoop(conn)
+	}
+	s := &Session{
+		c:     c,
+		id:    id,
+		acks:  make(chan wire.Ack, 1),
+		preds: make(chan wire.Prediction, c.cfg.Window),
+		drain: make(chan wire.Drain, 1),
+		errs:  make(chan error, 1),
+		done:  make(chan struct{}),
+	}
+	c.sessions[id] = s
+	err = c.writeLocked(func(b []byte) []byte {
+		return wire.AppendHello(b, &wire.Hello{
+			SessionID:       id,
+			GranularityUops: granularityUops,
+			Spec:            []byte(spec),
+		})
+	})
+	c.mu.Unlock()
+	if err != nil {
+		c.forget(s)
+		return nil, 0, err
+	}
+	select {
+	case ack := <-s.acks:
+		return s, int(ack.NumPhases), nil
+	case rerr := <-s.errs:
+		c.forget(s)
+		return nil, 0, rerr
+	case <-ctx.Done():
+		c.forget(s)
+		return nil, 0, ctx.Err()
+	}
+}
+
+// dialLocked connects with backoff; callers hold c.mu (held across the
+// retry sleeps deliberately — a client reconnects as a unit).
+func (c *Client) dialLocked(ctx context.Context) (net.Conn, error) {
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	delay := c.cfg.BackoffBase
+	for attempt := 1; ; attempt++ {
+		conn, err := d.DialContext(ctx, "tcp", c.cfg.Addr)
+		if err == nil {
+			return conn, nil
+		}
+		if c.cfg.MaxAttempts > 0 && attempt >= c.cfg.MaxAttempts {
+			return nil, fmt.Errorf("phaseclient: dial %s: %d attempts exhausted: %w",
+				c.cfg.Addr, attempt, err)
+		}
+		// Full jitter: sleep uniformly in [delay/2, delay), then
+		// double toward the cap.
+		sleep := delay/2 + time.Duration(c.rng.Int63n(int64(delay/2)+1))
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("phaseclient: dial %s: %w (last error: %v)",
+				c.cfg.Addr, ctx.Err(), err)
+		case <-time.After(sleep):
+		}
+		if delay *= 2; delay > c.cfg.BackoffMax {
+			delay = c.cfg.BackoffMax
+		}
+	}
+}
+
+// writeLocked encodes a frame into the shared buffer and writes it;
+// callers hold c.mu.
+func (c *Client) writeLocked(encode func([]byte) []byte) error {
+	if c.conn == nil {
+		return ErrDisconnected
+	}
+	c.wbuf = encode(c.wbuf[:0])
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		c.teardownLocked(err)
+		return ErrDisconnected
+	}
+	return nil
+}
+
+// readLoop demultiplexes server frames to sessions until the
+// connection dies, then fails every open session.
+func (c *Client) readLoop(conn net.Conn) {
+	dec := wire.NewDecoder(conn)
+	for {
+		kind, payload, err := dec.Next()
+		if err != nil {
+			c.mu.Lock()
+			if c.conn == conn {
+				c.teardownLocked(err)
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch kind {
+		case wire.KindAck:
+			var a wire.Ack
+			if wire.DecodeAck(payload, &a) == nil {
+				if s := c.lookup(a.SessionID); s != nil {
+					select {
+					case s.acks <- a:
+					default:
+					}
+				}
+			}
+		case wire.KindPrediction:
+			var p wire.Prediction
+			if wire.DecodePrediction(payload, &p) == nil {
+				if s := c.lookup(p.SessionID); s != nil {
+					select {
+					case s.preds <- p:
+					case <-s.done:
+					}
+				}
+			}
+		case wire.KindDrain:
+			var d wire.Drain
+			if wire.DecodeDrain(payload, &d) == nil {
+				if s := c.lookup(d.SessionID); s != nil {
+					select {
+					case s.drain <- d:
+					default:
+					}
+				}
+			}
+		case wire.KindError:
+			var e wire.ErrorFrame
+			if wire.DecodeError(payload, &e) == nil {
+				serr := &ServerError{Code: e.Code, SessionID: e.SessionID, Msg: string(e.Msg)}
+				if s := c.lookup(e.SessionID); s != nil {
+					s.fail(serr)
+				}
+			}
+		case wire.KindHello, wire.KindSample, wire.KindInvalid:
+			// Client-to-server kinds (or the unreachable zero kind)
+			// coming back mean a broken peer; drop the connection.
+			c.mu.Lock()
+			if c.conn == conn {
+				c.teardownLocked(fmt.Errorf("phaseclient: unexpected %v frame from server", kind))
+			}
+			c.mu.Unlock()
+			return
+		default:
+			c.mu.Lock()
+			if c.conn == conn {
+				c.teardownLocked(fmt.Errorf("phaseclient: unknown frame kind %v", kind))
+			}
+			c.mu.Unlock()
+			return
+		}
+	}
+}
+
+// teardownLocked drops the connection and fails every session; callers
+// hold c.mu.
+func (c *Client) teardownLocked(cause error) {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	err := ErrDisconnected
+	if cause != nil {
+		err = fmt.Errorf("%w: %v", ErrDisconnected, cause)
+	}
+	for id, s := range c.sessions {
+		s.fail(err)
+		delete(c.sessions, id)
+	}
+}
+
+func (c *Client) lookup(id uint64) *Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessions[id]
+}
+
+// forget removes a session that never fully opened (or finished).
+func (c *Client) forget(s *Session) {
+	c.mu.Lock()
+	if c.sessions[s.id] == s {
+		delete(c.sessions, s.id)
+	}
+	c.mu.Unlock()
+}
+
+// Close tears down the connection and fails open sessions.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.teardownLocked(ErrClosed)
+	return nil
+}
+
+// fail delivers a terminal error to the session exactly once.
+func (s *Session) fail(err error) {
+	s.failOnce.Do(func() {
+		select {
+		case s.errs <- err:
+		default:
+		}
+		close(s.done)
+	})
+}
+
+// Send streams one sample. The session id is stamped by the client.
+func (s *Session) Send(smp wire.Sample) error {
+	smp.SessionID = s.id
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if s.c.sessions[s.id] != s {
+		return ErrDisconnected
+	}
+	return s.c.writeLocked(func(b []byte) []byte { return wire.AppendSample(b, &smp) })
+}
+
+// Recv returns the next prediction, blocking until one arrives, the
+// session fails, or ctx is done.
+func (s *Session) Recv(ctx context.Context) (wire.Prediction, error) {
+	select {
+	case p := <-s.preds:
+		return p, nil
+	default:
+	}
+	select {
+	case p := <-s.preds:
+		return p, nil
+	case err := <-s.errs:
+		s.fail(err) // re-arm done for any concurrent waiter
+		return wire.Prediction{}, err
+	case <-s.done:
+		return wire.Prediction{}, ErrDisconnected
+	case <-ctx.Done():
+		return wire.Prediction{}, ctx.Err()
+	}
+}
+
+// Drain asks the server to flush the session and waits for its Drain
+// reply; buffered predictions remain readable via Recv afterward. The
+// session is closed on return.
+func (s *Session) Drain(ctx context.Context) (wire.Drain, error) {
+	s.c.mu.Lock()
+	err := errors.New("phaseclient: session not open")
+	if s.c.sessions[s.id] == s {
+		err = s.c.writeLocked(func(b []byte) []byte {
+			return wire.AppendDrain(b, &wire.Drain{SessionID: s.id})
+		})
+	}
+	s.c.mu.Unlock()
+	if err != nil {
+		return wire.Drain{}, err
+	}
+	defer s.c.forget(s)
+	select {
+	case d := <-s.drain:
+		return d, nil
+	case err := <-s.errs:
+		return wire.Drain{}, err
+	case <-s.done:
+		return wire.Drain{}, ErrDisconnected
+	case <-ctx.Done():
+		return wire.Drain{}, ctx.Err()
+	}
+}
+
+// Pending reports buffered predictions not yet consumed by Recv.
+func (s *Session) Pending() int { return len(s.preds) }
+
+// Drained exposes server-initiated Drain frames: when the server shuts
+// down gracefully it flushes the session and sends a Drain without
+// being asked, and it arrives here. (A client-initiated Drain consumes
+// the reply itself.)
+func (s *Session) Drained() <-chan wire.Drain { return s.drain }

@@ -1,0 +1,39 @@
+package phased
+
+import (
+	"testing"
+
+	"phasemon/internal/core"
+	"phasemon/internal/dvfs"
+	"phasemon/internal/phase"
+	"phasemon/internal/wire"
+)
+
+// BenchmarkSessionStep measures the pure per-sample compute of the
+// serving path — counter arithmetic, monitor step, classification,
+// translation, prediction assembly — with the transport excluded.
+// Together with BenchmarkWireRoundTrip it bounds the server's
+// per-frame CPU cost; the steady state must not allocate.
+func BenchmarkSessionStep(b *testing.B) {
+	trans, err := dvfs.Identity(dvfs.PentiumM(), 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := core.NewPredictorFromSpec("gpht_8_128", core.SpecEnv{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon, err := core.NewMonitor(phase.Default(), pred)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := &session{id: 1, mon: mon, trans: trans, numPhases: 6}
+	smp := wire.Sample{SessionID: 1, Uops: 100e6, Cycles: 90e6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp.Seq = uint64(i)
+		smp.MemTx = uint64(i%7) * 1e6
+		_ = sess.step(&smp, 0)
+	}
+}

@@ -1,0 +1,108 @@
+package phased
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"phasemon/internal/wire"
+)
+
+// serverConn wraps one accepted connection. Frame writes from the
+// reader goroutine (Acks, Errors) and the workers (Predictions,
+// Drains) interleave on it, serialized by wmu; the write buffer is
+// reused across frames so the steady-state write path allocates
+// nothing.
+type serverConn struct {
+	srv *Server
+	c   net.Conn
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	smu      sync.Mutex
+	sessions []*session
+
+	closeOnce sync.Once
+}
+
+// ipKey is the per-IP accounting key (host without port).
+func (sc *serverConn) ipKey() string {
+	host, _, err := net.SplitHostPort(sc.c.RemoteAddr().String())
+	if err != nil {
+		return sc.c.RemoteAddr().String()
+	}
+	return host
+}
+
+func (sc *serverConn) close() {
+	sc.closeOnce.Do(func() { _ = sc.c.Close() })
+}
+
+func (sc *serverConn) addSession(sess *session) {
+	sc.smu.Lock()
+	sc.sessions = append(sc.sessions, sess)
+	sc.smu.Unlock()
+}
+
+func (sc *serverConn) removeSession(sess *session) {
+	sc.smu.Lock()
+	for i, s := range sc.sessions {
+		if s == sess {
+			sc.sessions = append(sc.sessions[:i], sc.sessions[i+1:]...)
+			break
+		}
+	}
+	sc.smu.Unlock()
+}
+
+// takeSessions empties and returns the connection's session list; used
+// by teardown so each session is unregistered exactly once.
+func (sc *serverConn) takeSessions() []*session {
+	sc.smu.Lock()
+	out := sc.sessions
+	sc.sessions = nil
+	sc.smu.Unlock()
+	return out
+}
+
+// flush writes the encoded frame sitting in wbuf under the write
+// deadline; callers hold wmu.
+func (sc *serverConn) flush() error {
+	if d := sc.srv.cfg.WriteTimeout; d > 0 {
+		_ = sc.c.SetWriteDeadline(time.Now().Add(d))
+	}
+	_, err := sc.c.Write(sc.wbuf)
+	if err == nil {
+		sc.srv.framesOut.Inc()
+	}
+	return err
+}
+
+func (sc *serverConn) writeAck(a *wire.Ack) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.wbuf = wire.AppendAck(sc.wbuf[:0], a)
+	return sc.flush()
+}
+
+func (sc *serverConn) writePrediction(p *wire.Prediction) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.wbuf = wire.AppendPrediction(sc.wbuf[:0], p)
+	return sc.flush()
+}
+
+func (sc *serverConn) writeDrain(d *wire.Drain) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.wbuf = wire.AppendDrain(sc.wbuf[:0], d)
+	return sc.flush()
+}
+
+func (sc *serverConn) writeError(e *wire.ErrorFrame) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.wbuf = wire.AppendError(sc.wbuf[:0], e)
+	return sc.flush()
+}

@@ -1,0 +1,106 @@
+package phased
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Drainable is anything that can be shut down gracefully under a
+// deadline, mirroring http.Server.Shutdown semantics: stop taking new
+// work, let in-flight work finish, then release resources. The phased
+// Server, telemetry's ServePrefix shutdown function (via DrainFunc),
+// and any future long-running component all satisfy it, so one process
+// can drain every listener it owns through a single helper.
+type Drainable interface {
+	Shutdown(ctx context.Context) error
+}
+
+// DrainFunc adapts a bare shutdown function to Drainable.
+type DrainFunc func(ctx context.Context) error
+
+// Shutdown implements Drainable.
+func (f DrainFunc) Shutdown(ctx context.Context) error { return f(ctx) }
+
+// Drainer coordinates a one-shot graceful shutdown of several
+// Drainables under a shared timeout. Drain may be invoked from any
+// number of goroutines (a signal handler racing a natural exit path);
+// only the first invocation runs the shutdowns, and every caller gets
+// the same joined error.
+type Drainer struct {
+	timeout time.Duration
+	targets []Drainable
+
+	once sync.Once
+	err  error
+}
+
+// NewDrainer builds a drainer that gives the targets, drained in
+// order, a shared timeout budget. A non-positive timeout means no
+// deadline (drain waits as long as the targets take).
+func NewDrainer(timeout time.Duration, targets ...Drainable) *Drainer {
+	return &Drainer{timeout: timeout, targets: targets}
+}
+
+// Drain shuts every target down in registration order and returns the
+// joined errors. Safe to call more than once: later calls return the
+// first call's result without re-draining.
+func (d *Drainer) Drain() error {
+	d.once.Do(func() {
+		ctx := context.Background()
+		if d.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d.timeout)
+			defer cancel()
+		}
+		var errs []error
+		for _, t := range d.targets {
+			if t == nil {
+				continue
+			}
+			if err := t.Shutdown(ctx); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		d.err = errors.Join(errs...)
+	})
+	return d.err
+}
+
+// OnSignal arranges for Drain to run when one of the signals arrives
+// (SIGINT and SIGTERM when none are given), then invokes after — the
+// caller's exit path, typically printing a summary and calling
+// os.Exit — with the signal that fired. It returns a stop function
+// that uninstalls the handler; callers that exit through the normal
+// path use it to avoid draining twice. The handler runs in its own
+// goroutine, so after must be safe to call concurrently with the main
+// flow (os.Exit is).
+func (d *Drainer) OnSignal(after func(os.Signal), sigs ...os.Signal) (stop func()) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			_ = d.Drain()
+			if after != nil {
+				after(sig)
+			}
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}

@@ -1,0 +1,556 @@
+// Package phased is the streaming phase-prediction service: the
+// repo's monitoring stack (classifier, predictors, DVFS translation)
+// served over a TCP wire protocol instead of linked into the
+// workload's process.
+//
+// Each connection carries one or more sessions. A session opens with a
+// Hello frame naming a predictor spec (core.PredictorSpec grammar,
+// optionally with governor's "mon:" prefix) and the sampling
+// granularity; the server builds that predictor, answers with an Ack,
+// and from then on every Sample frame (raw PMC counters for one
+// interval: uops, memory transactions, cycles, wall time) is answered
+// by a Prediction frame carrying the classified actual phase, the
+// predicted next phase, its phase.Class, and the DVFS setting the
+// paper's Table 2 translation assigns it. The arithmetic feeding the
+// monitor is byte-for-byte the kernel module's, so a streamed session
+// is bit-identical to a local simulated run over the same counters —
+// the property the loopback tests and cmd/phasefeed -check enforce.
+//
+// Scheduling mirrors the fleet engine's determinism discipline:
+// sessions are pinned to a fixed worker pool by FNV-1a hash of the
+// session id, so one session's samples are always processed in order
+// by one goroutine. Backpressure is bounded per-session queues with a
+// drop-oldest policy (the freshest window of samples survives; the
+// cumulative eviction count rides on every Prediction), read deadlines
+// bound idle connections, write deadlines disconnect clients too slow
+// to take their predictions, and per-IP session caps bound fan-in.
+// Shutdown drains: queued samples flush, every open session gets a
+// Drain frame, then connections close.
+package phased
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"phasemon/internal/core"
+	"phasemon/internal/dvfs"
+	"phasemon/internal/governor"
+	"phasemon/internal/phase"
+	"phasemon/internal/telemetry"
+	"phasemon/internal/wire"
+)
+
+// Config parameterizes a Server. The zero value is fully usable.
+type Config struct {
+	// Workers is the prediction worker pool size; sessions are pinned
+	// to workers by session-id hash. Zero selects 4.
+	Workers int
+	// QueueDepth bounds each session's pending-sample queue; overflow
+	// evicts the oldest sample (drop-oldest). Zero selects 64.
+	QueueDepth int
+	// MaxSessionsPerIP caps concurrent sessions per client IP. Zero
+	// selects 64; negative means unlimited.
+	MaxSessionsPerIP int
+	// ReadTimeout bounds the gap between reads on a connection; idle
+	// connections past it are closed. Zero selects 30s; negative
+	// disables the deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write; clients too slow to drain
+	// their predictions are disconnected. Zero selects 5s; negative
+	// disables the deadline.
+	WriteTimeout time.Duration
+	// Classifier defines the phase taxonomy for every session; nil
+	// selects the paper's Table 1 (phase.Default).
+	Classifier phase.Classifier
+	// Telemetry observes the server when non-nil (the phasemon_phased_*
+	// instrument family plus the per-session monitors' accuracy
+	// counters). Nil serves unobserved.
+	Telemetry *telemetry.Hub
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxSessionsPerIP == 0 {
+		c.MaxSessionsPerIP = 64
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.Classifier == nil {
+		c.Classifier = phase.Default()
+	}
+	return c
+}
+
+// Server is the phase-prediction service. Construct with New, start
+// with Start or Serve, stop with Shutdown (it implements Drainable).
+type Server struct {
+	cfg   Config
+	trans *dvfs.Translation
+
+	workers []*worker
+	wg      sync.WaitGroup // worker goroutines
+	connWG  sync.WaitGroup // per-connection reader goroutines
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*serverConn]struct{}
+	sessions map[uint64]*session
+	perIP    map[string]int
+	draining bool
+	closed   bool
+
+	// Telemetry instruments, captured once at construction; nil (and
+	// therefore no-op) when the server runs unobserved.
+	sessionsGauge *telemetry.Gauge
+	framesIn      *telemetry.Counter
+	framesOut     *telemetry.Counter
+	drops         *telemetry.Counter
+	protoErrs     *telemetry.Counter
+	frameSeconds  *telemetry.Histogram
+}
+
+// New validates the configuration and builds a stopped server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	trans, err := dvfs.Identity(dvfs.PentiumM(), cfg.Classifier.NumPhases())
+	if err != nil {
+		return nil, fmt.Errorf("phased: %d-phase classifier has no identity translation: %w",
+			cfg.Classifier.NumPhases(), err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		trans:    trans,
+		conns:    make(map[*serverConn]struct{}),
+		sessions: make(map[uint64]*session),
+		perIP:    make(map[string]int),
+	}
+	if tel := cfg.Telemetry; tel != nil {
+		s.sessionsGauge = tel.PhasedSessions
+		s.framesIn = tel.PhasedFramesIn
+		s.framesOut = tel.PhasedFramesOut
+		s.drops = tel.PhasedDroppedSamples
+		s.protoErrs = tel.PhasedProtocolErrors
+		s.frameSeconds = tel.PhasedFrameSeconds
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{srv: s}
+		w.cond = sync.NewCond(&w.mu)
+		s.workers = append(s.workers, w)
+	}
+	return s, nil
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0"), serves in a background
+// goroutine, and returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = s.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil after a graceful shutdown and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("phased: server is shut down")
+	}
+	s.ln = ln
+	s.startWorkersLocked()
+	s.mu.Unlock()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining || s.closed
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		sc := &serverConn{srv: s, c: c}
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[sc] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.readLoop(sc)
+	}
+}
+
+// startWorkersLocked launches the worker pool once; callers hold s.mu.
+func (s *Server) startWorkersLocked() {
+	for _, w := range s.workers {
+		if w.started {
+			continue
+		}
+		w.started = true
+		s.wg.Add(1)
+		go func(w *worker) {
+			defer s.wg.Done()
+			w.run()
+		}(w)
+	}
+}
+
+// Shutdown gracefully drains the server: stop accepting, flush every
+// session's queued samples, send each a Drain frame, then close all
+// connections and stop the workers. It implements Drainable. A second
+// call returns immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining
+	s.draining = true
+	ln := s.ln
+	open := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		_ = ln.Close()
+	}
+	if !alreadyDraining {
+		for _, sess := range open {
+			s.requestDrain(sess)
+		}
+	}
+
+	// Wait for every session to flush and close, up to the deadline.
+	err := s.awaitSessions(ctx)
+
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+	for _, w := range s.workers {
+		w.stop()
+	}
+	s.wg.Wait()
+	s.connWG.Wait()
+	return err
+}
+
+// awaitSessions blocks until the session table empties or ctx expires.
+func (s *Server) awaitSessions(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		n := len(s.sessions)
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("phased: shutdown abandoned %d undrained sessions: %w", n, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// requestDrain marks the session draining and schedules it so its
+// worker flushes the queue and emits the Drain reply.
+func (s *Server) requestDrain(sess *session) {
+	w := s.workerFor(sess.id)
+	w.mu.Lock()
+	if sess.state == StateOpen || sess.state == StateNegotiating {
+		sess.draining = true
+		w.scheduleLocked(sess)
+	}
+	w.mu.Unlock()
+}
+
+// workerFor pins a session id to a worker by FNV-1a hash, the same
+// static-sharding determinism the fleet engine uses: a session's
+// samples are always processed in order by one goroutine.
+func (s *Server) workerFor(id uint64) *worker {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (id >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return s.workers[h%uint64(len(s.workers))]
+}
+
+// readLoop is the per-connection reader: it decodes frames and routes
+// them — Hellos to session setup, Samples onto worker queues, Drains
+// to the flush path. Fatal protocol errors answer with an Error frame
+// and close the connection.
+func (s *Server) readLoop(sc *serverConn) {
+	defer s.connWG.Done()
+	defer s.dropConn(sc)
+	dec := wire.NewDecoder(deadlineReader{c: sc.c, d: s.cfg.ReadTimeout})
+	for {
+		kind, payload, err := dec.Next()
+		if err != nil {
+			if errors.Is(err, wire.ErrBadFrame) {
+				s.protoErrs.Inc()
+				_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame, Msg: []byte(err.Error())})
+			}
+			return
+		}
+		s.framesIn.Inc()
+		switch kind {
+		case wire.KindHello:
+			if !s.handleHello(sc, payload) {
+				return
+			}
+		case wire.KindSample:
+			if !s.handleSample(sc, payload) {
+				return
+			}
+		case wire.KindDrain:
+			if !s.handleClientDrain(sc, payload) {
+				return
+			}
+		case wire.KindAck, wire.KindPrediction, wire.KindError, wire.KindInvalid:
+			// Server-to-client kinds arriving here mean a confused
+			// peer; KindInvalid cannot leave the decoder.
+			s.protoErrs.Inc()
+			_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame,
+				Msg: []byte("unexpected " + kind.String() + " frame")})
+			return
+		default:
+			s.protoErrs.Inc()
+			_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame,
+				Msg: []byte("unknown frame kind")})
+			return
+		}
+	}
+}
+
+// handleHello opens a session: builds the negotiated predictor,
+// registers the session, and answers Ack. It reports whether the
+// connection should stay open.
+func (s *Server) handleHello(sc *serverConn, payload []byte) bool {
+	var h wire.Hello
+	if err := wire.DecodeHello(payload, &h); err != nil {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame, Msg: []byte(err.Error())})
+		return false
+	}
+	spec := string(h.Spec)
+	spec = strings.TrimPrefix(spec, governor.MonitorPrefix)
+	pred, err := core.NewPredictorFromSpec(spec, core.SpecEnv{Classifier: s.cfg.Classifier})
+	if err != nil {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadSpec,
+			SessionID: h.SessionID, Msg: []byte(err.Error())})
+		return true // spec rejection is recoverable; the conn survives
+	}
+	var opts []core.Option
+	if tel := s.cfg.Telemetry; tel != nil {
+		opts = append(opts, core.WithTelemetry(tel))
+	}
+	mon, err := core.NewMonitor(s.cfg.Classifier, pred, opts...)
+	if err != nil {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadSpec,
+			SessionID: h.SessionID, Msg: []byte(err.Error())})
+		return true
+	}
+	sess := &session{
+		id:        h.SessionID,
+		conn:      sc,
+		mon:       mon,
+		trans:     s.trans,
+		numPhases: s.cfg.Classifier.NumPhases(),
+		queue:     newSampleRing(s.cfg.QueueDepth),
+		state:     StateNegotiating,
+	}
+
+	s.mu.Lock()
+	switch {
+	case s.draining || s.closed:
+		s.mu.Unlock()
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeOverloaded,
+			SessionID: h.SessionID, Msg: []byte("server draining")})
+		return false
+	case s.sessions[h.SessionID] != nil:
+		s.mu.Unlock()
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeDuplicateSession,
+			SessionID: h.SessionID, Msg: []byte("session id in use")})
+		return true
+	case s.cfg.MaxSessionsPerIP > 0 && s.perIP[sc.ipKey()] >= s.cfg.MaxSessionsPerIP:
+		s.mu.Unlock()
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeSessionLimit,
+			SessionID: h.SessionID, Msg: []byte("per-IP session limit reached")})
+		return true
+	}
+	s.sessions[h.SessionID] = sess
+	s.perIP[sc.ipKey()]++
+	s.sessionsGauge.Set(float64(len(s.sessions)))
+	s.mu.Unlock()
+	sc.addSession(sess)
+
+	if err := sc.writeAck(&wire.Ack{SessionID: h.SessionID,
+		NumPhases: uint8(s.cfg.Classifier.NumPhases())}); err != nil {
+		return false
+	}
+	w := s.workerFor(sess.id)
+	w.mu.Lock()
+	if sess.state == StateNegotiating {
+		sess.state = StateOpen
+	}
+	w.mu.Unlock()
+	return true
+}
+
+// handleSample queues one sample on its session's pinned worker.
+func (s *Server) handleSample(sc *serverConn, payload []byte) bool {
+	var smp wire.Sample
+	if err := wire.DecodeSample(payload, &smp); err != nil {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame, Msg: []byte(err.Error())})
+		return false
+	}
+	s.mu.Lock()
+	sess := s.sessions[smp.SessionID]
+	s.mu.Unlock()
+	if sess == nil || sess.conn != sc {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeUnknownSession,
+			SessionID: smp.SessionID, Msg: []byte("no such session on this connection")})
+		return true
+	}
+	w := s.workerFor(sess.id)
+	w.mu.Lock()
+	if sess.state != StateOpen && sess.state != StateNegotiating {
+		w.mu.Unlock()
+		return true // draining/closed: late samples are dropped silently
+	}
+	if d := sess.queue.push(smp); d > 0 {
+		sess.dropped += uint64(d)
+		s.drops.Add(uint64(d))
+	}
+	w.scheduleLocked(sess)
+	w.mu.Unlock()
+	return true
+}
+
+// handleClientDrain begins a client-initiated session drain.
+func (s *Server) handleClientDrain(sc *serverConn, payload []byte) bool {
+	var d wire.Drain
+	if err := wire.DecodeDrain(payload, &d); err != nil {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame, Msg: []byte(err.Error())})
+		return false
+	}
+	s.mu.Lock()
+	sess := s.sessions[d.SessionID]
+	s.mu.Unlock()
+	if sess == nil || sess.conn != sc {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeUnknownSession,
+			SessionID: d.SessionID, Msg: []byte("no such session on this connection")})
+		return true
+	}
+	s.requestDrain(sess)
+	return true
+}
+
+// unregisterSession removes a flushed session from the server tables.
+func (s *Server) unregisterSession(sess *session) {
+	s.mu.Lock()
+	if s.sessions[sess.id] == sess {
+		delete(s.sessions, sess.id)
+		if n := s.perIP[sess.conn.ipKey()] - 1; n > 0 {
+			s.perIP[sess.conn.ipKey()] = n
+		} else {
+			delete(s.perIP, sess.conn.ipKey())
+		}
+		s.sessionsGauge.Set(float64(len(s.sessions)))
+	}
+	s.mu.Unlock()
+	sess.conn.removeSession(sess)
+}
+
+// dropConn tears a connection down along with every session it owns.
+// Idempotent: the reader's deferred call and write-error paths race
+// benignly.
+func (s *Server) dropConn(sc *serverConn) {
+	sc.close()
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
+	for _, sess := range sc.takeSessions() {
+		w := s.workerFor(sess.id)
+		w.mu.Lock()
+		sess.state = StateClosed
+		w.mu.Unlock()
+		s.mu.Lock()
+		if s.sessions[sess.id] == sess {
+			delete(s.sessions, sess.id)
+			if n := s.perIP[sc.ipKey()] - 1; n > 0 {
+				s.perIP[sc.ipKey()] = n
+			} else {
+				delete(s.perIP, sc.ipKey())
+			}
+			s.sessionsGauge.Set(float64(len(s.sessions)))
+		}
+		s.mu.Unlock()
+	}
+}
+
+// deadlineReader arms the connection's read deadline before every
+// read, so the timeout bounds inter-frame gaps rather than whole-
+// connection lifetime.
+type deadlineReader struct {
+	c net.Conn
+	d time.Duration
+}
+
+func (r deadlineReader) Read(p []byte) (int, error) {
+	if r.d > 0 {
+		_ = r.c.SetReadDeadline(time.Now().Add(r.d))
+	}
+	return r.c.Read(p)
+}
+
+var _ io.Reader = deadlineReader{}

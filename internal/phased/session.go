@@ -1,0 +1,152 @@
+package phased
+
+import (
+	"fmt"
+
+	"phasemon/internal/core"
+	"phasemon/internal/dvfs"
+	"phasemon/internal/phase"
+	"phasemon/internal/wire"
+)
+
+// SessionState is the lifecycle of one streamed-prediction session.
+// The transitions are strictly forward: Negotiating → Open →
+// Draining → Closed. Switches over SessionState are enforced
+// exhaustive by phasemonlint, like the other repo taxonomies.
+type SessionState uint8
+
+const (
+	// StateNegotiating covers the window between the Hello frame
+	// arriving and the Ack going out (predictor construction).
+	StateNegotiating SessionState = iota
+	// StateOpen is the steady state: Sample frames in, Prediction
+	// frames out.
+	StateOpen
+	// StateDraining means a Drain was requested (by the client or by
+	// server shutdown); queued samples still flush, new ones are
+	// refused.
+	StateDraining
+	// StateClosed means the Drain reply has been sent and the session
+	// no longer exists server-side.
+	StateClosed
+)
+
+// String names the state for logs and errors.
+func (s SessionState) String() string {
+	switch s {
+	case StateNegotiating:
+		return "negotiating"
+	case StateOpen:
+		return "open"
+	case StateDraining:
+		return "draining"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("SessionState(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether s is a declared state.
+func (s SessionState) Valid() bool { return s <= StateClosed }
+
+// sampleRing is a fixed-capacity FIFO of samples with a drop-oldest
+// overflow policy: under backpressure the freshest window of samples
+// survives, which is the right call for phase monitoring — predictions
+// about the recent past are worthless, predictions about now are not.
+// Access is guarded by the owning worker's mutex.
+type sampleRing struct {
+	buf     []wire.Sample
+	head, n int
+}
+
+func newSampleRing(capacity int) sampleRing {
+	return sampleRing{buf: make([]wire.Sample, capacity)}
+}
+
+// push appends s, evicting the oldest queued sample when full. It
+// reports how many samples were dropped (0 or 1).
+func (r *sampleRing) push(s wire.Sample) (dropped int) {
+	if r.n == len(r.buf) {
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+		dropped = 1
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = s
+	r.n++
+	return dropped
+}
+
+// pop removes and returns the oldest sample; ok is false when empty.
+func (r *sampleRing) pop() (s wire.Sample, ok bool) {
+	if r.n == 0 {
+		return wire.Sample{}, false
+	}
+	s = r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return s, true
+}
+
+func (r *sampleRing) len() int { return r.n }
+
+// session is one monitored node's stream. Mutable fields are owned by
+// exactly one party at a time: queue/queued/state/draining are guarded
+// by the pinned worker's mutex (the reader goroutine and the worker
+// both take it); the monitor and everything below stepLocked is
+// touched only by the pinned worker goroutine, which serializes all
+// prediction compute for the session.
+type session struct {
+	id   uint64
+	conn *serverConn
+
+	mon       *core.Monitor
+	trans     *dvfs.Translation
+	numPhases int
+
+	// Guarded by the owning worker's mutex.
+	state    SessionState
+	queue    sampleRing
+	queued   bool   // on the worker's runqueue
+	draining bool   // drain requested; flush then close
+	dropped  uint64 // cumulative queue evictions, echoed in Predictions
+
+	// Owned by the worker goroutine.
+	lastSeq   uint64 // highest processed sample sequence number
+	processed uint64 // samples stepped through the monitor
+}
+
+// step runs one sample through the session's monitor and builds the
+// prediction reply. It is the pure compute core of the serving path —
+// no locks, no I/O — and mirrors kernelsim.HandlePMI's arithmetic
+// exactly so a streamed session is bit-identical to a local simulated
+// run over the same counters. dropped is the worker's snapshot of the
+// session's cumulative eviction count (taken under the worker lock, so
+// step itself stays lock-free).
+func (s *session) step(smp *wire.Sample, dropped uint64) wire.Prediction {
+	in := phase.Sample{
+		MemPerUop: safeDiv(float64(smp.MemTx), float64(smp.Uops)),
+		UPC:       safeDiv(float64(smp.Uops), float64(smp.Cycles)),
+	}
+	actual, next := s.mon.Step(in)
+	s.lastSeq = smp.Seq
+	s.processed++
+	return wire.Prediction{
+		SessionID: s.id,
+		Seq:       smp.Seq,
+		Actual:    uint8(actual),
+		Next:      uint8(next),
+		Class:     uint8(phase.ClassOf(next, s.numPhases)),
+		Setting:   uint8(s.trans.Setting(next)),
+		Dropped:   dropped,
+	}
+}
+
+// safeDiv mirrors kernelsim's division guard: identical arithmetic is
+// what makes streamed predictions bit-identical to simulated ones.
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

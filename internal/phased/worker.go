@@ -1,0 +1,108 @@
+package phased
+
+import (
+	"sync"
+	"time"
+
+	"phasemon/internal/wire"
+)
+
+// worker owns a shard of the session space. Its mutex guards the
+// runqueue and the queue/queued/state/draining fields of every session
+// pinned to it; the run goroutine is the only place those sessions'
+// monitors step, which is what serializes per-session prediction
+// compute without per-session locks.
+type worker struct {
+	srv     *Server
+	mu      sync.Mutex
+	cond    *sync.Cond
+	runq    []*session
+	started bool
+	stopped bool
+}
+
+// scheduleLocked puts the session on the runqueue if it is not already
+// there; callers hold w.mu.
+func (w *worker) scheduleLocked(sess *session) {
+	if !sess.queued {
+		sess.queued = true
+		w.runq = append(w.runq, sess)
+		w.cond.Signal()
+	}
+}
+
+// stop wakes the run loop for exit once its queue empties.
+func (w *worker) stop() {
+	w.mu.Lock()
+	w.stopped = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// run is the worker loop: pop a session, take its whole pending batch,
+// step each sample through the monitor, and write the predictions.
+// Batches keep lock hold times short — the reader can keep queueing
+// while this goroutine computes — and a session re-queues itself if
+// more samples arrive mid-batch, preserving FIFO order because it is
+// always this one goroutine that processes it.
+func (w *worker) run() {
+	var batch []wire.Sample
+	w.mu.Lock()
+	for {
+		for len(w.runq) == 0 && !w.stopped {
+			w.cond.Wait()
+		}
+		if len(w.runq) == 0 && w.stopped {
+			w.mu.Unlock()
+			return
+		}
+		sess := w.runq[0]
+		w.runq = w.runq[1:]
+		batch = batch[:0]
+		for {
+			smp, ok := sess.queue.pop()
+			if !ok {
+				break
+			}
+			batch = append(batch, smp)
+		}
+		sess.queued = false
+		draining := sess.draining
+		dropped := sess.dropped
+		closed := sess.state == StateClosed
+		if draining && !closed {
+			sess.state = StateDraining
+		}
+		w.mu.Unlock()
+
+		if !closed {
+			for i := range batch {
+				start := time.Now()
+				p := sess.step(&batch[i], dropped)
+				err := sess.conn.writePrediction(&p)
+				w.srv.frameSeconds.Observe(time.Since(start).Seconds())
+				if err != nil {
+					w.srv.dropConn(sess.conn)
+					closed = true
+					break
+				}
+			}
+		}
+		if draining && !closed {
+			last := sess.lastSeq
+			if sess.processed == 0 {
+				last = wire.NoSamples
+			}
+			// Unregister before the Drain reply goes out: a client that
+			// re-claims the id the moment its Drain returns must find
+			// the table slot already free.
+			w.mu.Lock()
+			sess.state = StateClosed
+			w.mu.Unlock()
+			w.srv.unregisterSession(sess)
+			_ = sess.conn.writeDrain(&wire.Drain{SessionID: sess.id, LastSeq: last})
+		}
+
+		w.mu.Lock()
+	}
+}

@@ -1,10 +1,12 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Handler returns the hub's HTTP surface:
@@ -19,6 +21,17 @@ import (
 // On a nil hub every route answers 503, honoring the package contract
 // that a nil *Hub is usable everywhere.
 func (h *Hub) Handler() http.Handler {
+	return h.PrefixHandler("")
+}
+
+// PrefixHandler is Handler with the instrument surface restricted to
+// names beginning with prefix (see Registry.SnapshotPrefix): /metrics
+// and the metrics section of /snapshot carry only the matching family,
+// while the accuracy view and journal are served unfiltered. This is
+// how a service built on a full hub — the phased server, whose hub
+// also carries the per-session monitor instruments — exposes exactly
+// its own phasemon_phased_* family without a second exporter.
+func (h *Hub) PrefixHandler(prefix string) http.Handler {
 	if h == nil {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "telemetry disabled (nil hub)", http.StatusServiceUnavailable)
@@ -30,13 +43,15 @@ func (h *Hub) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = WritePrometheus(w, h.Registry.Snapshot())
+		_ = WritePrometheus(w, h.Registry.SnapshotPrefix(prefix))
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if !methodIsGet(w, r) {
 			return
 		}
-		writeJSON(w, h.Snapshot())
+		snap := h.Snapshot()
+		snap.Metrics = h.Registry.SnapshotPrefix(prefix)
+		writeJSON(w, snap)
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		if !methodIsGet(w, r) {
@@ -92,12 +107,34 @@ func writeJSON(w http.ResponseWriter, v any) {
 // shuts the server down. Errors binding the listener are returned
 // immediately; errors after startup are dropped (the server exists to
 // observe the run, never to abort it).
+//
+// The returned shutdown is abrupt (in-flight scrapes are cut); callers
+// that drain on SIGTERM should use ServePrefix, whose shutdown is
+// graceful and context-bounded.
 func (h *Hub) Serve(addr string) (bound net.Addr, shutdown func(), err error) {
+	bound, stop, err := h.ServePrefix(addr, "")
+	if err != nil {
+		return nil, nil, err
+	}
+	return bound, func() {
+		// Bound the drain so legacy callers cannot hang on a stuck scrape.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = stop(ctx)
+	}, nil
+}
+
+// ServePrefix starts an HTTP server exposing PrefixHandler(prefix) on
+// addr and returns the bound address plus a graceful, context-bounded
+// shutdown function (http.Server.Shutdown semantics: stop accepting,
+// let in-flight scrapes finish, then close). It is the serve entry
+// point drain helpers (phased.Drainer) expect.
+func (h *Hub) ServePrefix(addr, prefix string) (bound net.Addr, shutdown func(context.Context) error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: h.Handler()}
+	srv := &http.Server{Handler: h.PrefixHandler(prefix)}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr(), func() { _ = srv.Close() }, nil
+	return ln.Addr(), srv.Shutdown, nil
 }

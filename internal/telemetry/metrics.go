@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -247,6 +248,25 @@ func (r *Registry) Histogram(name string, bounds []float64) (*Histogram, error) 
 	return h, nil
 }
 
+// Unregister removes the named instrument from the registry (whatever
+// its kind) and reports whether anything was removed. Handles already
+// held by callers keep working — they just stop being exported — so
+// removal is safe while writers are live. No-op on a nil receiver.
+func (r *Registry) Unregister(name string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.histograms[name]
+	delete(r.counters, name)
+	delete(r.gauges, name)
+	delete(r.histograms, name)
+	return c || g || h
+}
+
 // Snapshot captures all instruments at a point in time.
 type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
@@ -256,6 +276,15 @@ type Snapshot struct {
 
 // Snapshot copies every registered instrument's current value.
 func (r *Registry) Snapshot() Snapshot {
+	return r.SnapshotPrefix("")
+}
+
+// SnapshotPrefix copies every registered instrument whose name begins
+// with prefix — the filter a service uses to export only its own
+// metric family (e.g. telemetry.PhasedPrefix) off a hub that also
+// carries the in-process instruments. The empty prefix selects
+// everything.
+func (r *Registry) SnapshotPrefix(prefix string) Snapshot {
 	s := Snapshot{
 		Counters:   make(map[string]uint64),
 		Gauges:     make(map[string]float64),
@@ -267,13 +296,19 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+		if strings.HasPrefix(name, prefix) {
+			s.Counters[name] = c.Value()
+		}
 	}
 	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+		if strings.HasPrefix(name, prefix) {
+			s.Gauges[name] = g.Value()
+		}
 	}
 	for name, h := range r.histograms {
-		s.Histograms[name] = h.Snapshot()
+		if strings.HasPrefix(name, prefix) {
+			s.Histograms[name] = h.Snapshot()
+		}
 	}
 	return s
 }

@@ -77,4 +77,74 @@ func TestNilReceiversAreNoOps(t *testing.T) {
 	if snap := r.Snapshot(); len(snap.Counters) != 0 {
 		t.Errorf("nil Registry Snapshot() has %d counters", len(snap.Counters))
 	}
+	if r.Unregister("x") {
+		t.Error("nil Registry Unregister() = true, want false")
+	}
+	if snap := r.SnapshotPrefix("phasemon_"); len(snap.Counters) != 0 {
+		t.Errorf("nil Registry SnapshotPrefix() has %d counters", len(snap.Counters))
+	}
+
+	// The prefix-filtered handler must serve (an error page) on a nil
+	// hub, like Handler.
+	rec = httptest.NewRecorder()
+	h.PrefixHandler(PhasedPrefix).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code < 400 {
+		t.Errorf("nil Hub PrefixHandler() status = %d, want an error status", rec.Code)
+	}
+}
+
+// TestNilSafePhasedInstruments extends the nil sweep to the serving-
+// path instruments: a phased server holding a nil hub must be able to
+// touch every one of them unconditionally through the nil-instrument
+// no-op contract.
+func TestNilSafePhasedInstruments(t *testing.T) {
+	var h *Hub // nil: the fields below are nil instruments via a guarded fetch
+	var (
+		sessions                              *Gauge
+		framesIn, framesOut, drops, protoErrs *Counter
+		frameSeconds                          *Histogram
+	)
+	if h != nil {
+		t.Fatal("test wants a nil hub")
+	}
+	sessions.Set(3)
+	framesIn.Inc()
+	framesOut.Add(2)
+	drops.Inc()
+	protoErrs.Inc()
+	frameSeconds.Observe(1e-6)
+	if sessions.Value() != 0 || framesIn.Value() != 0 || framesOut.Value() != 0 ||
+		drops.Value() != 0 || protoErrs.Value() != 0 || frameSeconds.Snapshot().Count != 0 {
+		t.Error("nil phased instruments accumulated state")
+	}
+
+	// And on a real hub they are registered under the phased prefix,
+	// so the prefix filter exports exactly this family.
+	hub := NewHub(6)
+	hub.PhasedSessions.Set(4)
+	hub.PhasedFramesIn.Add(10)
+	hub.PhasedFramesOut.Add(9)
+	hub.PhasedDroppedSamples.Inc()
+	hub.PhasedProtocolErrors.Inc()
+	hub.PhasedFrameSeconds.Observe(3e-6)
+	snap := hub.Registry.SnapshotPrefix(PhasedPrefix)
+	wantCounters := []string{
+		MetricPhasedFramesIn, MetricPhasedFramesOut,
+		MetricPhasedDroppedSamples, MetricPhasedProtocolErrors,
+	}
+	for _, name := range wantCounters {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("SnapshotPrefix missing counter %s", name)
+		}
+	}
+	if len(snap.Counters) != len(wantCounters) {
+		t.Errorf("SnapshotPrefix has %d counters %v, want exactly %d",
+			len(snap.Counters), snap.Counters, len(wantCounters))
+	}
+	if _, ok := snap.Gauges[MetricPhasedSessions]; !ok || len(snap.Gauges) != 1 {
+		t.Errorf("SnapshotPrefix gauges = %v, want only %s", snap.Gauges, MetricPhasedSessions)
+	}
+	if _, ok := snap.Histograms[MetricPhasedFrameSeconds]; !ok || len(snap.Histograms) != 1 {
+		t.Errorf("SnapshotPrefix histograms = %v, want only %s", snap.Histograms, MetricPhasedFrameSeconds)
+	}
 }

@@ -48,7 +48,20 @@ const (
 	MetricCurrentSetting   = "phasemon_dvfs_current_setting"
 	MetricMemPerUop        = "phasemon_sample_mem_per_uop"
 	MetricHandlerSeconds   = "phasemon_pmi_handler_seconds"
+
+	// Serving-path instruments (the phased server).
+	MetricPhasedSessions       = "phasemon_phased_sessions"
+	MetricPhasedFramesIn       = "phasemon_phased_frames_in_total"
+	MetricPhasedFramesOut      = "phasemon_phased_frames_out_total"
+	MetricPhasedDroppedSamples = "phasemon_phased_dropped_samples_total"
+	MetricPhasedProtocolErrors = "phasemon_phased_protocol_errors_total"
+	MetricPhasedFrameSeconds   = "phasemon_phased_frame_seconds"
 )
+
+// PhasedPrefix selects the serving-path instruments for prefix-
+// filtered export: a phased deployment exposes exactly the
+// phasemon_phased_* family on its public /metrics.
+const PhasedPrefix = "phasemon_phased_"
 
 // DefaultMemPerUopBounds are the Mem/Uop histogram bucket bounds — the
 // paper's Table 1 phase boundaries, so each bucket is one phase.
@@ -62,6 +75,12 @@ var DefaultHandlerBounds = []float64{1e-6, 2e-6, 5e-6, 10e-6, 20e-6, 50e-6}
 // DefaultFleetRunBounds bucket wall-clock seconds of one fleet run,
 // spanning cache-hit-fast replays through multi-second sweeps.
 var DefaultFleetRunBounds = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30}
+
+// DefaultFrameBounds bucket the phased server's per-frame handling
+// latency in seconds: arrival to prediction written. The low buckets
+// resolve the in-process step cost; the top ones catch queueing under
+// load.
+var DefaultFrameBounds = []float64{5e-6, 20e-6, 100e-6, 500e-6, 2e-3, 10e-3, 100e-3}
 
 // Hub bundles the instruments and journal for one monitored pipeline.
 // Every Record* method and every instrument handle is safe on a nil
@@ -106,11 +125,21 @@ type Hub struct {
 	// held by the workload-trace cache.
 	WorkloadCacheSamples *Gauge
 
+	// Serving-path instruments (the phased server).
+	PhasedSessions       *Gauge
+	PhasedFramesIn       *Counter
+	PhasedFramesOut      *Counter
+	PhasedDroppedSamples *Counter
+	PhasedProtocolErrors *Counter
+
 	// Distributions.
 	MemPerUop   *Histogram
 	HandlerCost *Histogram
 	// FleetRunSeconds distributes per-run wall time in the fleet engine.
 	FleetRunSeconds *Histogram
+	// PhasedFrameSeconds distributes the phased server's per-frame
+	// handling latency (sample arrival to prediction written).
+	PhasedFrameSeconds *Histogram
 
 	// conf is the live confusion matrix: a flat row-major
 	// (numPhases+1)² grid of atomic cells (row = actual, column =
@@ -150,15 +179,22 @@ func NewHub(numPhases int) *Hub {
 		WorkloadCacheMisses:    reg.Counter(MetricWorkloadMisses),
 		WorkloadCacheEvictions: reg.Counter(MetricWorkloadEvicted),
 
+		PhasedFramesIn:       reg.Counter(MetricPhasedFramesIn),
+		PhasedFramesOut:      reg.Counter(MetricPhasedFramesOut),
+		PhasedDroppedSamples: reg.Counter(MetricPhasedDroppedSamples),
+		PhasedProtocolErrors: reg.Counter(MetricPhasedProtocolErrors),
+
 		CurrentPhase:         reg.Gauge(MetricCurrentPhase),
 		PredictedPhase:       reg.Gauge(MetricPredictedPhase),
 		CurrentSetting:       reg.Gauge(MetricCurrentSetting),
 		FleetQueueDepth:      reg.Gauge(MetricFleetQueueDepth),
 		WorkloadCacheSamples: reg.Gauge(MetricWorkloadSamples),
+		PhasedSessions:       reg.Gauge(MetricPhasedSessions),
 	}
 	h.MemPerUop, _ = reg.Histogram(MetricMemPerUop, DefaultMemPerUopBounds)
 	h.HandlerCost, _ = reg.Histogram(MetricHandlerSeconds, DefaultHandlerBounds)
 	h.FleetRunSeconds, _ = reg.Histogram(MetricFleetRunSeconds, DefaultFleetRunBounds)
+	h.PhasedFrameSeconds, _ = reg.Histogram(MetricPhasedFrameSeconds, DefaultFrameBounds)
 	h.numPhases = numPhases
 	h.conf = make([]atomic.Uint64, (numPhases+1)*(numPhases+1))
 	return h

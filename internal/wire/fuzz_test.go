@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzDecoder feeds arbitrary bytes to the streaming decoder. The
+// invariants: the decoder never panics, never returns a payload larger
+// than MaxPayload, and every frame it does accept re-encodes to the
+// exact bytes it was decoded from (the framing is canonical).
+func FuzzDecoder(f *testing.F) {
+	f.Add(AppendHello(nil, &Hello{SessionID: 1, GranularityUops: 1e8, Spec: []byte("gpht_8_128")}))
+	f.Add(AppendAck(nil, &Ack{SessionID: 1, NumPhases: 6}))
+	f.Add(AppendSample(nil, &Sample{SessionID: 1, Seq: 0, Uops: 1e8, MemTx: 42, Cycles: 9e7}))
+	f.Add(AppendPrediction(nil, &Prediction{SessionID: 1, Seq: 0, Actual: 1, Next: 2, Class: 2, Setting: 1}))
+	f.Add(AppendDrain(nil, &Drain{SessionID: 1, LastSeq: 99}))
+	f.Add(AppendError(nil, &ErrorFrame{Code: CodeBadFrame, Msg: []byte("boom")}))
+	f.Add([]byte{0x50, 0x68, 1, 3, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0x50}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		start := 0
+		for {
+			kind, payload, err := dec.Next()
+			if err != nil {
+				if !errors.Is(err, ErrBadFrame) && err != io.EOF {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(payload) > MaxPayload {
+				t.Fatalf("payload %d bytes exceeds MaxPayload", len(payload))
+			}
+			frameLen := HeaderSize + len(payload) + TrailerSize
+			original := data[start : start+frameLen]
+			start += frameLen
+
+			// Re-encode through the typed structs where the payload is
+			// well-formed; the bytes must match exactly.
+			var re []byte
+			switch kind {
+			case KindHello:
+				var h Hello
+				if DecodeHello(payload, &h) == nil {
+					re = AppendHello(nil, &h)
+				}
+			case KindAck:
+				var a Ack
+				if DecodeAck(payload, &a) == nil {
+					re = AppendAck(nil, &a)
+				}
+			case KindSample:
+				var s Sample
+				if DecodeSample(payload, &s) == nil {
+					re = AppendSample(nil, &s)
+				}
+			case KindPrediction:
+				var p Prediction
+				if DecodePrediction(payload, &p) == nil {
+					re = AppendPrediction(nil, &p)
+				}
+			case KindDrain:
+				var d Drain
+				if DecodeDrain(payload, &d) == nil {
+					re = AppendDrain(nil, &d)
+				}
+			case KindError:
+				var e ErrorFrame
+				if DecodeError(payload, &e) == nil {
+					re = AppendError(nil, &e)
+				}
+			case KindInvalid:
+				t.Fatalf("decoder accepted KindInvalid")
+			default:
+				t.Fatalf("decoder accepted unknown kind %v", kind)
+			}
+			if re != nil && !bytes.Equal(re, original) {
+				t.Fatalf("re-encoded %v frame differs:\n got %x\nwant %x", kind, re, original)
+			}
+		}
+	})
+}

@@ -1,0 +1,520 @@
+// Package wire defines the phased serving protocol: the versioned,
+// length-prefixed binary framing that carries per-interval PMC samples
+// from monitored nodes to a phase-prediction service and predictions
+// back (DESIGN.md §11).
+//
+// The protocol is deliberately minimal — six frame kinds over one TCP
+// stream, multiplexing any number of sessions by an explicit session
+// id — and deliberately cheap: every frame is a fixed 8-byte header,
+// a payload, and a CRC-32 trailer, and both directions of the hot
+// path (Sample in, Prediction out) encode and decode without
+// allocating, which the package's testing.AllocsPerRun tests prove.
+//
+// Frame layout (all integers big-endian):
+//
+//	offset  size  field
+//	0       2     magic 0x5068 ("Ph")
+//	2       1     protocol version (currently 1)
+//	3       1     frame kind
+//	4       4     payload length N (bounded by MaxPayload)
+//	8       N     payload (kind-specific, see the typed structs)
+//	8+N     4     CRC-32 (IEEE) over bytes [0, 8+N)
+//
+// A stream is self-delimiting: a reader that knows nothing about the
+// kinds can still skip frames by length, and any corruption — a bad
+// magic, an unknown version, an oversized length, a failed checksum —
+// is detected before a payload byte is interpreted.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic is the two-byte frame preamble ("Ph").
+const Magic uint16 = 0x5068
+
+// Version1 is the first (and current) protocol version. Hello frames
+// carry the client's version in the frame header; the server answers
+// with an Error frame of code CodeVersion when it cannot speak it.
+const Version1 uint8 = 1
+
+// MaxPayload bounds a single frame's payload. The largest hot-path
+// frame (Sample) is 48 bytes; the bound exists so a corrupted or
+// hostile length field cannot make a reader allocate gigabytes.
+const MaxPayload = 1 << 12
+
+// Header and trailer sizes of the framing.
+const (
+	HeaderSize  = 8
+	TrailerSize = 4
+	// MaxFrameSize is the largest possible encoded frame.
+	MaxFrameSize = HeaderSize + MaxPayload + TrailerSize
+)
+
+// FrameKind enumerates the frame types of protocol version 1.
+// Switches over FrameKind are checked for exhaustiveness by
+// phasemonlint, so a new frame kind forces every dispatcher to decide
+// how to handle it.
+type FrameKind uint8
+
+const (
+	// KindInvalid is the zero FrameKind; it never appears on a valid
+	// stream.
+	KindInvalid FrameKind = iota
+	// KindHello opens a session (client → server): session id,
+	// sampling granularity, and the predictor spec to serve it with.
+	KindHello
+	// KindAck accepts a session (server → client), echoing the session
+	// id and fixing the phase count predictions will use.
+	KindAck
+	// KindSample carries one sampling interval's raw PMC counters
+	// (client → server).
+	KindSample
+	// KindPrediction answers one sample (server → client): the
+	// interval's classified phase, the predicted next phase, its
+	// Table 1 class, and the DVFS setting the translation selects.
+	KindPrediction
+	// KindDrain flushes a session: sent by a client to end a session
+	// cleanly, and by a draining server after the last prediction of
+	// each session it is shutting down.
+	KindDrain
+	// KindError reports a protocol or session failure; conn-fatal
+	// errors carry session id 0.
+	KindError
+)
+
+// String names the kind for logs and errors.
+func (k FrameKind) String() string {
+	switch k {
+	case KindInvalid:
+		return "invalid"
+	case KindHello:
+		return "hello"
+	case KindAck:
+		return "ack"
+	case KindSample:
+		return "sample"
+	case KindPrediction:
+		return "prediction"
+	case KindDrain:
+		return "drain"
+	case KindError:
+		return "error"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a kind defined by protocol version 1.
+func (k FrameKind) Valid() bool { return k >= KindHello && k <= KindError }
+
+// ErrorCode classifies Error frames.
+type ErrorCode uint16
+
+const (
+	// CodeUnknown is the zero code.
+	CodeUnknown ErrorCode = iota
+	// CodeBadFrame reports an undecodable frame (bad magic, CRC,
+	// length, kind, or payload). Connection-fatal.
+	CodeBadFrame
+	// CodeVersion reports an unsupported protocol version.
+	// Connection-fatal.
+	CodeVersion
+	// CodeBadSpec reports a Hello whose predictor spec failed to
+	// parse or build. The session is not opened; the connection lives.
+	CodeBadSpec
+	// CodeSessionLimit reports a Hello rejected by the server's
+	// per-client session cap. The connection lives.
+	CodeSessionLimit
+	// CodeDuplicateSession reports a Hello for a session id already
+	// open on the connection.
+	CodeDuplicateSession
+	// CodeUnknownSession reports a Sample or Drain for a session id
+	// the connection never opened.
+	CodeUnknownSession
+	// CodeOverloaded reports a server refusing new sessions while
+	// draining.
+	CodeOverloaded
+)
+
+// String names the code.
+func (c ErrorCode) String() string {
+	switch c {
+	case CodeUnknown:
+		return "unknown"
+	case CodeBadFrame:
+		return "bad-frame"
+	case CodeVersion:
+		return "version"
+	case CodeBadSpec:
+		return "bad-spec"
+	case CodeSessionLimit:
+		return "session-limit"
+	case CodeDuplicateSession:
+		return "duplicate-session"
+	case CodeUnknownSession:
+		return "unknown-session"
+	case CodeOverloaded:
+		return "overloaded"
+	default:
+		return fmt.Sprintf("code(%d)", uint16(c))
+	}
+}
+
+// Decode errors. ErrBadFrame is the root every framing failure wraps,
+// so transports can test one sentinel.
+var (
+	ErrBadFrame   = errors.New("wire: bad frame")
+	ErrBadMagic   = fmt.Errorf("%w: bad magic", ErrBadFrame)
+	ErrBadVersion = fmt.Errorf("%w: unsupported version", ErrBadFrame)
+	ErrBadKind    = fmt.Errorf("%w: unknown frame kind", ErrBadFrame)
+	ErrTooLarge   = fmt.Errorf("%w: payload exceeds MaxPayload", ErrBadFrame)
+	ErrBadCRC     = fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	ErrShort      = fmt.Errorf("%w: short payload", ErrBadFrame)
+)
+
+// --- typed payloads ------------------------------------------------
+
+// Hello opens a session. Spec references the decode buffer when
+// produced by DecodeHello; copy it before the next read if it must
+// outlive the frame.
+type Hello struct {
+	// SessionID identifies the session on this connection. Any value
+	// is legal; ids are scoped to the connection.
+	SessionID uint64
+	// GranularityUops is the node's sampling interval in retired uops
+	// (informational; the paper's deployment uses 100M).
+	GranularityUops uint64
+	// Flags is reserved; senders must set 0.
+	Flags uint16
+	// Spec is the predictor spec string (core.PredictorSpec grammar,
+	// e.g. "gpht_8_128") the session's predictor is built from.
+	Spec []byte
+}
+
+// Ack accepts a session.
+type Ack struct {
+	SessionID uint64
+	// NumPhases is the phase count of the server's classifier; phase
+	// ids in Prediction frames are in [1, NumPhases].
+	NumPhases uint8
+}
+
+// Sample carries one interval's raw counters. The server derives the
+// phase metrics exactly as the kernel module does: Mem/Uop =
+// MemTx/Uops, UPC = Uops/Cycles.
+type Sample struct {
+	SessionID uint64
+	// Seq numbers samples within the session, starting at 0.
+	Seq uint64
+	// Uops, MemTx, Cycles are the interval's PMC deltas.
+	Uops   uint64
+	MemTx  uint64
+	Cycles uint64
+	// WallNs is the interval's wall-clock duration in nanoseconds
+	// (informational).
+	WallNs uint64
+}
+
+// Prediction answers one sample.
+type Prediction struct {
+	SessionID uint64
+	// Seq echoes the answered sample's sequence number.
+	Seq uint64
+	// Actual is the classified phase of the answered interval.
+	Actual uint8
+	// Next is the predicted phase of the upcoming interval.
+	Next uint8
+	// Class is Next mapped onto the paper's six-way taxonomy
+	// (phase.Class).
+	Class uint8
+	// Setting is the DVFS setting the server's translation selects for
+	// Next (dvfs.Setting).
+	Setting uint8
+	// Dropped is the session's cumulative count of samples shed by the
+	// server's backpressure policy (drop-oldest on a full queue).
+	Dropped uint64
+}
+
+// Drain flushes a session (or, with SessionID 0 from the server, the
+// whole connection).
+type Drain struct {
+	SessionID uint64
+	// LastSeq is the highest sample sequence number processed;
+	// NoSamples when the session processed none.
+	LastSeq uint64
+}
+
+// NoSamples is the Drain.LastSeq value of a session that never
+// processed a sample.
+const NoSamples = ^uint64(0)
+
+// ErrorFrame reports a failure. Msg references the decode buffer when
+// produced by DecodeError.
+type ErrorFrame struct {
+	Code ErrorCode
+	// SessionID scopes the error; 0 means the whole connection.
+	SessionID uint64
+	Msg       []byte
+}
+
+// Payload sizes of the fixed-size frames.
+const (
+	ackSize        = 9
+	sampleSize     = 48
+	predictionSize = 28
+	drainSize      = 16
+	helloFixed     = 20 // sessionID + granularity + flags + specLen
+	errorFixed     = 12 // code + sessionID + msgLen
+)
+
+// --- encoding ------------------------------------------------------
+
+// appendHeader writes the 8-byte header for a payload of length n.
+func appendHeader(dst []byte, kind FrameKind, n int) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version1, byte(kind))
+	return binary.BigEndian.AppendUint32(dst, uint32(n))
+}
+
+// appendCRC seals a frame whose header began at position start.
+func appendCRC(dst []byte, start int) []byte {
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// AppendHello encodes a Hello frame onto dst and returns the extended
+// slice. Specs longer than MaxPayload-helloFixed are truncated — in
+// practice specs are tens of bytes.
+func AppendHello(dst []byte, h *Hello) []byte {
+	spec := h.Spec
+	if len(spec) > MaxPayload-helloFixed {
+		spec = spec[:MaxPayload-helloFixed]
+	}
+	start := len(dst)
+	dst = appendHeader(dst, KindHello, helloFixed+len(spec))
+	dst = binary.BigEndian.AppendUint64(dst, h.SessionID)
+	dst = binary.BigEndian.AppendUint64(dst, h.GranularityUops)
+	dst = binary.BigEndian.AppendUint16(dst, h.Flags)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(spec)))
+	dst = append(dst, spec...)
+	return appendCRC(dst, start)
+}
+
+// AppendAck encodes an Ack frame onto dst.
+func AppendAck(dst []byte, a *Ack) []byte {
+	start := len(dst)
+	dst = appendHeader(dst, KindAck, ackSize)
+	dst = binary.BigEndian.AppendUint64(dst, a.SessionID)
+	dst = append(dst, a.NumPhases)
+	return appendCRC(dst, start)
+}
+
+// AppendSample encodes a Sample frame onto dst.
+func AppendSample(dst []byte, s *Sample) []byte {
+	start := len(dst)
+	dst = appendHeader(dst, KindSample, sampleSize)
+	dst = binary.BigEndian.AppendUint64(dst, s.SessionID)
+	dst = binary.BigEndian.AppendUint64(dst, s.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, s.Uops)
+	dst = binary.BigEndian.AppendUint64(dst, s.MemTx)
+	dst = binary.BigEndian.AppendUint64(dst, s.Cycles)
+	dst = binary.BigEndian.AppendUint64(dst, s.WallNs)
+	return appendCRC(dst, start)
+}
+
+// AppendPrediction encodes a Prediction frame onto dst.
+func AppendPrediction(dst []byte, p *Prediction) []byte {
+	start := len(dst)
+	dst = appendHeader(dst, KindPrediction, predictionSize)
+	dst = binary.BigEndian.AppendUint64(dst, p.SessionID)
+	dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+	dst = append(dst, p.Actual, p.Next, p.Class, p.Setting)
+	dst = binary.BigEndian.AppendUint64(dst, p.Dropped)
+	return appendCRC(dst, start)
+}
+
+// AppendDrain encodes a Drain frame onto dst.
+func AppendDrain(dst []byte, d *Drain) []byte {
+	start := len(dst)
+	dst = appendHeader(dst, KindDrain, drainSize)
+	dst = binary.BigEndian.AppendUint64(dst, d.SessionID)
+	dst = binary.BigEndian.AppendUint64(dst, d.LastSeq)
+	return appendCRC(dst, start)
+}
+
+// AppendError encodes an Error frame onto dst. Messages longer than
+// the payload bound are truncated.
+func AppendError(dst []byte, e *ErrorFrame) []byte {
+	msg := e.Msg
+	if len(msg) > MaxPayload-errorFixed {
+		msg = msg[:MaxPayload-errorFixed]
+	}
+	start := len(dst)
+	dst = appendHeader(dst, KindError, errorFixed+len(msg))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(e.Code))
+	dst = binary.BigEndian.AppendUint64(dst, e.SessionID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
+	dst = append(dst, msg...)
+	return appendCRC(dst, start)
+}
+
+// --- decoding ------------------------------------------------------
+
+// DecodeHeader validates an 8-byte header and returns the kind and
+// payload length. It does not verify the CRC (the payload has not been
+// read yet); Decoder.Next and VerifyFrame do.
+func DecodeHeader(hdr []byte) (FrameKind, int, error) {
+	if len(hdr) < HeaderSize {
+		return KindInvalid, 0, fmt.Errorf("%w: header %d bytes", ErrShort, len(hdr))
+	}
+	if binary.BigEndian.Uint16(hdr) != Magic {
+		return KindInvalid, 0, ErrBadMagic
+	}
+	if hdr[2] != Version1 {
+		return KindInvalid, 0, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
+	}
+	kind := FrameKind(hdr[3])
+	if !kind.Valid() {
+		return KindInvalid, 0, fmt.Errorf("%w: %d", ErrBadKind, hdr[3])
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n > MaxPayload {
+		return KindInvalid, 0, fmt.Errorf("%w: %d", ErrTooLarge, n)
+	}
+	return kind, int(n), nil
+}
+
+// DecodeHello parses a Hello payload. h.Spec aliases the payload.
+func DecodeHello(payload []byte, h *Hello) error {
+	if len(payload) < helloFixed {
+		return fmt.Errorf("%w: hello %d bytes", ErrShort, len(payload))
+	}
+	h.SessionID = binary.BigEndian.Uint64(payload)
+	h.GranularityUops = binary.BigEndian.Uint64(payload[8:])
+	h.Flags = binary.BigEndian.Uint16(payload[16:])
+	n := int(binary.BigEndian.Uint16(payload[18:]))
+	if len(payload) != helloFixed+n {
+		return fmt.Errorf("%w: hello spec length %d in %d-byte payload", ErrShort, n, len(payload))
+	}
+	h.Spec = payload[helloFixed:]
+	return nil
+}
+
+// DecodeAck parses an Ack payload.
+func DecodeAck(payload []byte, a *Ack) error {
+	if len(payload) != ackSize {
+		return fmt.Errorf("%w: ack %d bytes", ErrShort, len(payload))
+	}
+	a.SessionID = binary.BigEndian.Uint64(payload)
+	a.NumPhases = payload[8]
+	return nil
+}
+
+// DecodeSample parses a Sample payload into s without allocating.
+func DecodeSample(payload []byte, s *Sample) error {
+	if len(payload) != sampleSize {
+		return fmt.Errorf("%w: sample %d bytes", ErrShort, len(payload))
+	}
+	s.SessionID = binary.BigEndian.Uint64(payload)
+	s.Seq = binary.BigEndian.Uint64(payload[8:])
+	s.Uops = binary.BigEndian.Uint64(payload[16:])
+	s.MemTx = binary.BigEndian.Uint64(payload[24:])
+	s.Cycles = binary.BigEndian.Uint64(payload[32:])
+	s.WallNs = binary.BigEndian.Uint64(payload[40:])
+	return nil
+}
+
+// DecodePrediction parses a Prediction payload into p without
+// allocating.
+func DecodePrediction(payload []byte, p *Prediction) error {
+	if len(payload) != predictionSize {
+		return fmt.Errorf("%w: prediction %d bytes", ErrShort, len(payload))
+	}
+	p.SessionID = binary.BigEndian.Uint64(payload)
+	p.Seq = binary.BigEndian.Uint64(payload[8:])
+	p.Actual = payload[16]
+	p.Next = payload[17]
+	p.Class = payload[18]
+	p.Setting = payload[19]
+	p.Dropped = binary.BigEndian.Uint64(payload[20:])
+	return nil
+}
+
+// DecodeDrain parses a Drain payload.
+func DecodeDrain(payload []byte, d *Drain) error {
+	if len(payload) != drainSize {
+		return fmt.Errorf("%w: drain %d bytes", ErrShort, len(payload))
+	}
+	d.SessionID = binary.BigEndian.Uint64(payload)
+	d.LastSeq = binary.BigEndian.Uint64(payload[8:])
+	return nil
+}
+
+// DecodeError parses an Error payload. e.Msg aliases the payload.
+func DecodeError(payload []byte, e *ErrorFrame) error {
+	if len(payload) < errorFixed {
+		return fmt.Errorf("%w: error %d bytes", ErrShort, len(payload))
+	}
+	e.Code = ErrorCode(binary.BigEndian.Uint16(payload))
+	e.SessionID = binary.BigEndian.Uint64(payload[2:])
+	n := int(binary.BigEndian.Uint16(payload[10:]))
+	if len(payload) != errorFixed+n {
+		return fmt.Errorf("%w: error msg length %d in %d-byte payload", ErrShort, n, len(payload))
+	}
+	e.Msg = payload[errorFixed:]
+	return nil
+}
+
+// --- streaming decoder ---------------------------------------------
+
+// Decoder reads frames off a stream into an internal buffer that is
+// reused across frames, so steady-state decoding allocates nothing.
+// The payload returned by Next is valid only until the following Next
+// call.
+type Decoder struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewDecoder wraps r. The decoder does its own buffering of exactly
+// one frame; r does not need to be buffered for correctness, though a
+// bufio.Reader avoids tiny reads on unbuffered transports.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r, buf: make([]byte, HeaderSize+TrailerSize, 256)}
+}
+
+// Next reads one frame and returns its kind and payload. Framing
+// failures return an error wrapping ErrBadFrame; transport failures
+// return the underlying read error (io.EOF at a clean frame boundary).
+func (d *Decoder) Next() (FrameKind, []byte, error) {
+	hdr := d.buf[:HeaderSize]
+	if _, err := io.ReadFull(d.r, hdr); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return KindInvalid, nil, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
+		}
+		return KindInvalid, nil, err
+	}
+	kind, n, err := DecodeHeader(hdr)
+	if err != nil {
+		return KindInvalid, nil, err
+	}
+	total := HeaderSize + n + TrailerSize
+	if cap(d.buf) < total {
+		buf := make([]byte, total)
+		copy(buf, d.buf[:HeaderSize])
+		d.buf = buf
+	}
+	d.buf = d.buf[:total]
+	if _, err := io.ReadFull(d.r, d.buf[HeaderSize:total]); err != nil {
+		return KindInvalid, nil, fmt.Errorf("%w: truncated frame: %v", ErrBadFrame, err)
+	}
+	body := d.buf[:HeaderSize+n]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(d.buf[HeaderSize+n:]) {
+		return KindInvalid, nil, ErrBadCRC
+	}
+	return kind, body[HeaderSize:], nil
+}

@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripAllKinds(t *testing.T) {
+	var buf []byte
+	hello := Hello{SessionID: 7, GranularityUops: 100_000_000, Spec: []byte("gpht_8_128")}
+	ack := Ack{SessionID: 7, NumPhases: 6}
+	sample := Sample{SessionID: 7, Seq: 41, Uops: 100_000_000, MemTx: 123456, Cycles: 98765432, WallNs: 7_000_111}
+	pred := Prediction{SessionID: 7, Seq: 41, Actual: 3, Next: 5, Class: 5, Setting: 4, Dropped: 2}
+	drain := Drain{SessionID: 7, LastSeq: 41}
+	errf := ErrorFrame{Code: CodeBadSpec, SessionID: 7, Msg: []byte("no such predictor")}
+
+	buf = AppendHello(buf, &hello)
+	buf = AppendAck(buf, &ack)
+	buf = AppendSample(buf, &sample)
+	buf = AppendPrediction(buf, &pred)
+	buf = AppendDrain(buf, &drain)
+	buf = AppendError(buf, &errf)
+
+	d := NewDecoder(bytes.NewReader(buf))
+	wantKinds := []FrameKind{KindHello, KindAck, KindSample, KindPrediction, KindDrain, KindError}
+	for i, want := range wantKinds {
+		kind, payload, err := d.Next()
+		if err != nil {
+			t.Fatalf("frame %d: Next: %v", i, err)
+		}
+		if kind != want {
+			t.Fatalf("frame %d: kind = %v, want %v", i, kind, want)
+		}
+		switch kind {
+		case KindHello:
+			var h Hello
+			if err := DecodeHello(payload, &h); err != nil {
+				t.Fatal(err)
+			}
+			if h.SessionID != hello.SessionID || h.GranularityUops != hello.GranularityUops || string(h.Spec) != string(hello.Spec) {
+				t.Errorf("hello round trip = %+v, want %+v", h, hello)
+			}
+		case KindAck:
+			var a Ack
+			if err := DecodeAck(payload, &a); err != nil {
+				t.Fatal(err)
+			}
+			if a != ack {
+				t.Errorf("ack round trip = %+v, want %+v", a, ack)
+			}
+		case KindSample:
+			var s Sample
+			if err := DecodeSample(payload, &s); err != nil {
+				t.Fatal(err)
+			}
+			if s != sample {
+				t.Errorf("sample round trip = %+v, want %+v", s, sample)
+			}
+		case KindPrediction:
+			var p Prediction
+			if err := DecodePrediction(payload, &p); err != nil {
+				t.Fatal(err)
+			}
+			if p != pred {
+				t.Errorf("prediction round trip = %+v, want %+v", p, pred)
+			}
+		case KindDrain:
+			var dr Drain
+			if err := DecodeDrain(payload, &dr); err != nil {
+				t.Fatal(err)
+			}
+			if dr != drain {
+				t.Errorf("drain round trip = %+v, want %+v", dr, drain)
+			}
+		case KindError:
+			var e ErrorFrame
+			if err := DecodeError(payload, &e); err != nil {
+				t.Fatal(err)
+			}
+			if e.Code != errf.Code || e.SessionID != errf.SessionID || string(e.Msg) != string(errf.Msg) {
+				t.Errorf("error round trip = %+v, want %+v", e, errf)
+			}
+		case KindInvalid:
+			t.Fatalf("decoder returned KindInvalid without error")
+		default:
+			t.Fatalf("decoder returned unknown kind %v", kind)
+		}
+	}
+	if _, _, err := d.Next(); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecoderRejectsCorruption(t *testing.T) {
+	valid := AppendSample(nil, &Sample{SessionID: 1, Seq: 2})
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrBadMagic},
+		{"bad version", func(b []byte) []byte { b[2] = 99; return b }, ErrBadVersion},
+		{"bad kind", func(b []byte) []byte { b[3] = 200; return b }, ErrBadKind},
+		{"oversized length", func(b []byte) []byte {
+			b[4], b[5], b[6], b[7] = 0xFF, 0xFF, 0xFF, 0xFF
+			return b
+		}, ErrTooLarge},
+		{"flipped payload bit", func(b []byte) []byte { b[HeaderSize] ^= 0x01; return b }, ErrBadCRC},
+		{"flipped crc bit", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrBadCRC},
+		{"truncated header", func(b []byte) []byte { return b[:HeaderSize-3] }, ErrBadFrame},
+		{"truncated payload", func(b []byte) []byte { return b[:HeaderSize+5] }, ErrBadFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), valid...))
+			_, _, err := NewDecoder(bytes.NewReader(b)).Next()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("err = %v does not wrap ErrBadFrame", err)
+			}
+		})
+	}
+}
+
+func TestPayloadLengthMismatches(t *testing.T) {
+	var s Sample
+	if err := DecodeSample(make([]byte, sampleSize-1), &s); !errors.Is(err, ErrShort) {
+		t.Errorf("short sample: err = %v, want ErrShort", err)
+	}
+	var h Hello
+	if err := DecodeHello(make([]byte, helloFixed-1), &h); !errors.Is(err, ErrShort) {
+		t.Errorf("short hello: err = %v, want ErrShort", err)
+	}
+	// Hello whose declared spec length disagrees with the payload.
+	bad := AppendHello(nil, &Hello{SessionID: 1, Spec: []byte("gpht")})
+	payload := bad[HeaderSize : len(bad)-TrailerSize]
+	payload[18], payload[19] = 0xFF, 0xFF
+	if err := DecodeHello(payload, &h); !errors.Is(err, ErrShort) {
+		t.Errorf("lying hello spec length: err = %v, want ErrShort", err)
+	}
+	var e ErrorFrame
+	if err := DecodeError(make([]byte, errorFixed-1), &e); !errors.Is(err, ErrShort) {
+		t.Errorf("short error: err = %v, want ErrShort", err)
+	}
+}
+
+func TestLongSpecTruncated(t *testing.T) {
+	long := strings.Repeat("x", MaxPayload)
+	buf := AppendHello(nil, &Hello{SessionID: 1, Spec: []byte(long)})
+	if len(buf) > MaxFrameSize {
+		t.Fatalf("encoded hello is %d bytes, above MaxFrameSize %d", len(buf), MaxFrameSize)
+	}
+	kind, payload, err := NewDecoder(bytes.NewReader(buf)).Next()
+	if err != nil || kind != KindHello {
+		t.Fatalf("Next = %v, %v", kind, err)
+	}
+	var h Hello
+	if err := DecodeHello(payload, &h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Spec) != MaxPayload-helloFixed {
+		t.Errorf("spec truncated to %d bytes, want %d", len(h.Spec), MaxPayload-helloFixed)
+	}
+}
+
+// replayReader hands out the same encoded frames forever, so
+// allocation tests and benchmarks can stream without re-encoding.
+type replayReader struct {
+	frames []byte
+	off    int
+}
+
+func (r *replayReader) Read(p []byte) (int, error) {
+	if r.off == len(r.frames) {
+		r.off = 0
+	}
+	n := copy(p, r.frames[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestHotPathZeroAlloc proves the serving hot path — Sample encode,
+// stream decode, Prediction encode, Prediction decode — allocates
+// nothing in steady state.
+func TestHotPathZeroAlloc(t *testing.T) {
+	s := Sample{SessionID: 3, Seq: 9, Uops: 1e8, MemTx: 5, Cycles: 7}
+	p := Prediction{SessionID: 3, Seq: 9, Actual: 2, Next: 4, Class: 4, Setting: 3}
+	buf := make([]byte, 0, MaxFrameSize)
+	if n := testing.AllocsPerRun(1000, func() {
+		buf = AppendSample(buf[:0], &s)
+		buf = AppendPrediction(buf[:0], &p)
+	}); n != 0 {
+		t.Errorf("encode allocs/op = %v, want 0", n)
+	}
+
+	frames := AppendPrediction(AppendSample(nil, &s), &p)
+	dec := NewDecoder(&replayReader{frames: frames})
+	// Warm the decoder's frame buffer before measuring.
+	if _, _, err := dec.Next(); err != nil {
+		t.Fatal(err)
+	}
+	var ds Sample
+	var dp Prediction
+	if n := testing.AllocsPerRun(1000, func() {
+		kind, payload, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch kind {
+		case KindSample:
+			if err := DecodeSample(payload, &ds); err != nil {
+				t.Fatal(err)
+			}
+		case KindPrediction:
+			if err := DecodePrediction(payload, &dp); err != nil {
+				t.Fatal(err)
+			}
+		case KindInvalid, KindHello, KindAck, KindDrain, KindError:
+			t.Fatalf("unexpected kind %v", kind)
+		default:
+			t.Fatalf("unknown kind %v", kind)
+		}
+	}); n != 0 {
+		t.Errorf("decode allocs/op = %v, want 0", n)
+	}
+}
+
+// BenchmarkWireRoundTrip measures one full hot-path exchange: encode a
+// Sample, decode it off the stream, encode the answering Prediction,
+// decode that. This is the per-interval protocol cost a phased
+// deployment pays on top of prediction itself.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	s := Sample{SessionID: 3, Seq: 9, Uops: 1e8, MemTx: 5, Cycles: 7}
+	p := Prediction{SessionID: 3, Seq: 9, Actual: 2, Next: 4, Class: 4, Setting: 3}
+	frames := AppendPrediction(AppendSample(nil, &s), &p)
+	src := &replayReader{frames: frames}
+	dec := NewDecoder(src)
+	buf := make([]byte, 0, MaxFrameSize)
+	var ds Sample
+	var dp Prediction
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendSample(buf[:0], &s)
+		if _, payload, err := dec.Next(); err != nil {
+			b.Fatal(err)
+		} else if err := DecodeSample(payload, &ds); err != nil {
+			b.Fatal(err)
+		}
+		buf = AppendPrediction(buf[:0], &p)
+		if _, payload, err := dec.Next(); err != nil {
+			b.Fatal(err)
+		} else if err := DecodePrediction(payload, &dp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = buf
+}
