@@ -14,6 +14,11 @@
 //	phased [-addr 127.0.0.1:0] [-metrics-addr :9100] [-workers N]
 //	       [-queue-depth N] [-max-sessions-per-ip N]
 //	       [-read-timeout 30s] [-write-timeout 5s] [-drain-timeout 10s]
+//	       [-node-id N] [-rollup-bucket 1s] [-rollup-flush 1s]
+//
+// The metrics address also serves /healthz, a drain-aware /readyz,
+// and /rollup — the node's merged fleet-rollup view (see cmd/phasetop
+// for the live terminal rendering of the same stream).
 package main
 
 import (
@@ -37,24 +42,32 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 0, "per-read idle deadline (0 = default)")
 		writeTimeout = flag.Duration("write-timeout", 0, "per-frame write deadline; slow clients past it are dropped (0 = default)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+		nodeID       = flag.Uint64("node-id", 0, "node id stamped on emitted Rollup frames")
+		rollupBucket = flag.Duration("rollup-bucket", 0, "rollup time-bucket length (0 = default 1s)")
+		rollupFlush  = flag.Duration("rollup-flush", 0, "rollup flusher period (0 = default 1s)")
 	)
 	flag.Parse()
-	if err := run(*addr, *metricsAddr, *workers, *queueDepth, *perIP, *readTimeout, *writeTimeout, *drainTimeout); err != nil {
+	cfg := phased.Config{
+		NodeID:       *nodeID,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		RollupBucket: *rollupBucket,
+		RollupFlush:  *rollupFlush,
+
+		MaxSessionsPerIP: *perIP,
+		ReadTimeout:      *readTimeout,
+		WriteTimeout:     *writeTimeout,
+	}
+	if err := run(*addr, *metricsAddr, cfg, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "phased: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, metricsAddr string, workers, queueDepth, perIP int, readTimeout, writeTimeout, drainTimeout time.Duration) error {
+func run(addr, metricsAddr string, cfg phased.Config, drainTimeout time.Duration) error {
 	hub := telemetry.NewHub(phase.Default().NumPhases())
-	srv, err := phased.New(phased.Config{
-		Workers:          workers,
-		QueueDepth:       queueDepth,
-		MaxSessionsPerIP: perIP,
-		ReadTimeout:      readTimeout,
-		WriteTimeout:     writeTimeout,
-		Telemetry:        hub,
-	})
+	cfg.Telemetry = hub
+	srv, err := phased.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -66,11 +79,11 @@ func run(addr, metricsAddr string, workers, queueDepth, perIP int, readTimeout, 
 
 	targets := []phased.Drainable{srv}
 	if metricsAddr != "" {
-		mb, stopMetrics, err := hub.ServePrefix(metricsAddr, telemetry.PhasedPrefix)
+		mb, stopMetrics, err := srv.ServeMetrics(metricsAddr, hub)
 		if err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}
-		fmt.Printf("phased: metrics on http://%s/metrics\n", mb)
+		fmt.Printf("phased: metrics on http://%s/metrics (readiness /readyz, fleet view /rollup)\n", mb)
 		targets = append(targets, phased.DrainFunc(stopMetrics))
 	}
 

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"phasemon/internal/phaseclient"
+	"phasemon/internal/phased"
+	"phasemon/internal/telemetry"
+	"phasemon/internal/wire"
+)
+
+// TestSynthSnapshotShardInvariance is the command-level acceptance
+// check: `phasetop -synth -once -json` output is byte-identical at
+// any shard/worker count for the same seeded feed.
+func TestSynthSnapshotShardInvariance(t *testing.T) {
+	base := options{
+		synth: true, sessions: 300, intervals: 30,
+		shards: 1, workers: 1, seed: 42,
+		bucket: 10 * time.Millisecond, topN: 8,
+		once: true, jsonOut: true,
+	}
+	var want bytes.Buffer
+	if err := run(&want, base); err != nil {
+		t.Fatalf("run baseline: %v", err)
+	}
+	if want.Len() == 0 || !strings.Contains(want.String(), "\"samples\"") {
+		t.Fatalf("baseline output not a View JSON: %q", want.String())
+	}
+	for _, c := range []struct{ shards, workers int }{{2, 1}, {4, 4}, {7, 3}} {
+		o := base
+		o.shards, o.workers = c.shards, c.workers
+		var got bytes.Buffer
+		if err := run(&got, o); err != nil {
+			t.Fatalf("run %d shards / %d workers: %v", c.shards, c.workers, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("snapshot differs at %d shards / %d workers", c.shards, c.workers)
+		}
+	}
+	// And across repeated runs of the same configuration.
+	var again bytes.Buffer
+	if err := run(&again, base); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want.Bytes()) {
+		t.Fatal("snapshot differs between identical runs")
+	}
+}
+
+// TestSynthTableRender smoke-tests the human rendering: every section
+// header present and the top list populated.
+func TestSynthTableRender(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, options{
+		synth: true, sessions: 200, intervals: 20,
+		shards: 2, workers: 2, seed: 7,
+		bucket: 10 * time.Millisecond, topN: 5, once: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CLASS", "SETTING", "LATENCY", "TOP SESSION", "hit", "power"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestLiveOnceAgainstServer drives the live path end to end: a real
+// phased node serves a short session, and phasetop's -once mode
+// renders a snapshot whose sample count covers the stream.
+func TestLiveOnceAgainstServer(t *testing.T) {
+	hub := telemetry.NewHub(6)
+	srv, err := phased.New(phased.Config{
+		NodeID:       3,
+		RollupBucket: 20 * time.Millisecond,
+		RollupFlush:  5 * time.Millisecond,
+		Telemetry:    hub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	feedDone := make(chan error, 1)
+	go func() { feedDone <- feed(addr.String(), 30) }()
+	if err := <-feedDone; err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+
+	var out bytes.Buffer
+	err = run(&out, options{
+		addrs: addr.String(), topN: 4,
+		refresh: 150 * time.Millisecond, once: true, jsonOut: true,
+	})
+	if err != nil {
+		t.Fatalf("phasetop run: %v", err)
+	}
+	if !strings.Contains(out.String(), "\"samples\"") {
+		t.Fatalf("live snapshot not a View JSON: %q", out.String())
+	}
+}
+
+// feed streams n constant samples through one session and drains it.
+func feed(addr string, n int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cl := phaseclient.New(phaseclient.Config{Addr: addr})
+	defer cl.Close()
+	sess, _, err := cl.Open(ctx, 11, "lastvalue", 100e6)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := sess.Send(wire.Sample{Seq: uint64(i), Uops: 100e6, Cycles: 90e6}); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sess.Recv(ctx); err != nil {
+			return err
+		}
+	}
+	_, err = sess.Drain(ctx)
+	return err
+}

@@ -1,0 +1,125 @@
+package agg
+
+import (
+	"sync"
+
+	"phasemon/internal/dvfs"
+	"phasemon/internal/phase"
+)
+
+// Synth is a deterministic synthetic outcome feed: every sample is a
+// pure function of (Seed, session index, interval index), so the
+// aggregate it produces — and cmd/phasetop's snapshot of it — is
+// bit-identical at any shard or worker count. It stands in for a
+// fleet of phased nodes in tests, benchmarks, and phasetop's -synth
+// mode, scaling to the ROADMAP's "1M sessions on one box" target
+// without a single socket.
+type Synth struct {
+	// Sessions and Intervals size the feed; values below 1 select 1.
+	Sessions  int
+	Intervals int
+	// Seed derives every pseudo-random choice.
+	Seed uint64
+	// StartNs is the feed's epoch (default: a fixed 2023 instant —
+	// synthetic time is simulated, never read from a clock).
+	StartNs int64
+	// IntervalNs is the spacing between intervals (default 1ms).
+	IntervalNs int64
+}
+
+// Default Synth timing. The fixed epoch keeps synthetic feeds off the
+// wall clock entirely.
+const (
+	DefaultSynthStartNs    = int64(1_700_000_000_000_000_000)
+	DefaultSynthIntervalNs = int64(1_000_000)
+)
+
+// withDefaults fills zero fields.
+func (s Synth) withDefaults() Synth {
+	if s.Sessions < 1 {
+		s.Sessions = 1
+	}
+	if s.Intervals < 1 {
+		s.Intervals = 1
+	}
+	if s.StartNs == 0 {
+		s.StartNs = DefaultSynthStartNs
+	}
+	if s.IntervalNs < 1 {
+		s.IntervalNs = DefaultSynthIntervalNs
+	}
+	return s
+}
+
+// SpanBuckets returns the bucket-ring size that covers the whole feed
+// for the given bucket length, so no sample is ever late or evicted:
+// feeding is ordered by session, not by time, and a ring shorter than
+// the feed's span would turn ring reuse into worker-count-dependent
+// drops.
+func (s Synth) SpanBuckets(bucketLenNs int64) int {
+	s = s.withDefaults()
+	spanNs := int64(s.Intervals) * s.IntervalNs
+	return int(spanNs/bucketLenNs) + 2
+}
+
+// SessionID derives the i-th session's id. mix is a bijection, so ids
+// never collide.
+func (s Synth) SessionID(i int) uint64 {
+	return mix(s.Seed ^ (0x9E3779B97F4A7C15 * uint64(i+1)))
+}
+
+// Run feeds the whole grid through a, partitioning sessions across
+// workers goroutines (values below 1 select 1). Because every
+// accumulate is a commutative integer add into exact tables, the
+// aggregate is identical for any worker count.
+func (s Synth) Run(a *Aggregator, workers int) {
+	s = s.withDefaults()
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < s.Sessions; i += workers {
+				s.feedSession(a, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// feedSession replays one session's intervals into a.
+func (s Synth) feedSession(a *Aggregator, i int) {
+	sid := s.SessionID(i)
+	shard := a.ShardFor(sid)
+	persona := mix(sid)
+	// weight is the session's samples per interval (1–8, heavy tail):
+	// a handful of greedy sessions dominate the top lists, as real
+	// fleets do.
+	weight := 1
+	if persona%17 == 0 {
+		weight = 2 + int((persona>>8)%7)
+	}
+	hitPct := 50 + persona%45 // per-session prediction quality
+	for t := 0; t < s.Intervals; t++ {
+		nowNs := s.StartNs + int64(t)*s.IntervalNs
+		for rep := 0; rep < weight; rep++ {
+			h := mix(sid ^ (uint64(t)*0x2545F4914F6CDD1D + uint64(rep)))
+			class := phase.Class(1 + h%phase.NumClasses)
+			setting := dvfs.ClassSetting(class)
+			outcome := OutcomeMiss
+			switch {
+			case t == 0 && rep == 0:
+				outcome = OutcomeUnscored
+			case (h>>16)%1000 < 8:
+				outcome = OutcomeShed
+			case (h>>8)%100 < hitPct:
+				outcome = OutcomeHit
+			}
+			latNs := int64(2_000 + (h>>24)%3_000_000) // spans several buckets
+			a.IngestAt(shard, nowNs, sid, class, setting, outcome, latNs)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import "strings"
 // paths (perfevent, cpufreq, pmc, the cmd/ front ends) legitimately
 // read clocks and are outside this set.
 var simulationPackages = []string{
+	"internal/agg",
 	"internal/cpusim",
 	"internal/core",
 	"internal/daq",

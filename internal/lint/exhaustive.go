@@ -18,8 +18,9 @@ type enumType struct{ pkg, typ string }
 // enforcedEnums are the taxonomies a new bin must never silently fall
 // out of: the six phase classes (Table 1), the SpeedStep operating
 // points (Table 2), the telemetry journal's event kinds, the fleet
-// engine's run statuses, the serving protocol's frame kinds, and the
-// phased session lifecycle.
+// engine's run statuses, the serving protocol's frame kinds, the
+// phased session lifecycle, and the rollup pipeline's sample
+// outcomes.
 var enforcedEnums = []enumType{
 	{"phase", "Class"},
 	{"dvfs", "Setting"},
@@ -27,6 +28,7 @@ var enforcedEnums = []enumType{
 	{"fleet", "Status"},
 	{"wire", "FrameKind"},
 	{"phased", "SessionState"},
+	{"agg", "Outcome"},
 }
 
 // ExhaustiveAnalyzer requires every switch over an enforced enum type
@@ -37,8 +39,8 @@ var enforcedEnums = []enumType{
 var ExhaustiveAnalyzer = &Analyzer{
 	Name: "exhaustive",
 	Doc: "switches over phase.Class, dvfs.Setting, telemetry.EventKind, " +
-		"fleet.Status, wire.FrameKind and phased.SessionState must cover " +
-		"all constants or reject unknowns in a default",
+		"fleet.Status, wire.FrameKind, phased.SessionState and " +
+		"agg.Outcome must cover all constants or reject unknowns in a default",
 	Run: runExhaustive,
 }
 

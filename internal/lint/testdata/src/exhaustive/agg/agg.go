@@ -1,0 +1,11 @@
+// Fixture model of internal/agg's Outcome enum.
+package agg
+
+type Outcome uint8
+
+const (
+	OutcomeUnscored Outcome = iota
+	OutcomeHit
+	OutcomeMiss
+	OutcomeShed
+)

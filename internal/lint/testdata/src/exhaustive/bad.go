@@ -2,6 +2,7 @@
 package exhaustive
 
 import (
+	"exhaustive/agg"
 	"exhaustive/dvfs"
 	"exhaustive/fleet"
 	"exhaustive/phase"
@@ -37,13 +38,21 @@ func missingStatus(s fleet.Status) bool {
 }
 
 func missingFrameKinds(k wire.FrameKind) int {
-	switch k { // want `switch over wire.FrameKind is not exhaustive: missing KindInvalid, KindAck, KindPrediction, KindDrain, KindError`
+	switch k { // want `switch over wire.FrameKind is not exhaustive: missing KindInvalid, KindAck, KindPrediction, KindDrain, KindError, KindRollup`
 	case wire.KindHello:
 		return 1
 	case wire.KindSample:
 		return 3
 	}
 	return 0
+}
+
+func missingOutcomes(o agg.Outcome) bool {
+	switch o { // want `switch over agg.Outcome is not exhaustive: missing OutcomeUnscored, OutcomeShed`
+	case agg.OutcomeHit, agg.OutcomeMiss:
+		return true
+	}
+	return false
 }
 
 func emptyDefaultState(s phased.SessionState) bool {

@@ -11,4 +11,5 @@ const (
 	KindPrediction
 	KindDrain
 	KindError
+	KindRollup
 )

@@ -4,6 +4,7 @@ package exhaustiveclean
 import (
 	"errors"
 
+	"exhaustive/agg"
 	"exhaustive/dvfs"
 	"exhaustive/fleet"
 	"exhaustive/phase"
@@ -78,8 +79,35 @@ func fullFrameKind(k wire.FrameKind) string {
 		return "drain"
 	case wire.KindError:
 		return "error"
+	case wire.KindRollup:
+		return "rollup"
 	}
 	return "unknown"
+}
+
+// fullOutcome covers every rollup outcome; no default needed.
+func fullOutcome(o agg.Outcome) string {
+	switch o {
+	case agg.OutcomeUnscored:
+		return "unscored"
+	case agg.OutcomeHit:
+		return "hit"
+	case agg.OutcomeMiss:
+		return "miss"
+	case agg.OutcomeShed:
+		return "shed"
+	}
+	return "unknown"
+}
+
+// partialOutcomeWithDefault rejects unknown outcomes explicitly.
+func partialOutcomeWithDefault(o agg.Outcome) (bool, error) {
+	switch o {
+	case agg.OutcomeHit:
+		return true, nil
+	default:
+		return false, errors.New("not a hit")
+	}
 }
 
 // partialStateWithDefault rejects unknown session states explicitly.

@@ -92,6 +92,12 @@ type Client struct {
 	sessions map[uint64]*Session
 	closed   bool
 	rng      *rand.Rand
+
+	// Rollup frames carry a node id, not a session id, so the reader
+	// routes them to the connection's single subscription rather than
+	// through the session table.
+	rollupSess *Session
+	rollupCh   chan wire.Rollup
 }
 
 // New builds a client; no connection is made until the first Open.
@@ -267,6 +273,19 @@ func (c *Client) readLoop(conn net.Conn) {
 					}
 				}
 			}
+		case wire.KindRollup:
+			var r wire.Rollup
+			if wire.DecodeRollup(payload, &r) == nil {
+				c.mu.Lock()
+				s, ch := c.rollupSess, c.rollupCh
+				c.mu.Unlock()
+				if s != nil {
+					select {
+					case ch <- r:
+					case <-s.done:
+					}
+				}
+			}
 		case wire.KindError:
 			var e wire.ErrorFrame
 			if wire.DecodeError(payload, &e) == nil {
@@ -310,6 +329,7 @@ func (c *Client) teardownLocked(cause error) {
 		s.fail(err)
 		delete(c.sessions, id)
 	}
+	c.rollupSess = nil
 }
 
 func (c *Client) lookup(id uint64) *Session {
@@ -323,6 +343,9 @@ func (c *Client) forget(s *Session) {
 	c.mu.Lock()
 	if c.sessions[s.id] == s {
 		delete(c.sessions, s.id)
+	}
+	if c.rollupSess == s {
+		c.rollupSess = nil
 	}
 	c.mu.Unlock()
 }
@@ -418,3 +441,99 @@ func (s *Session) Pending() int { return len(s.preds) }
 // being asked, and it arrives here. (A client-initiated Drain consumes
 // the reply itself.)
 func (s *Session) Drained() <-chan wire.Drain { return s.drain }
+
+// RollupSub is a live subscription to a phased node's rollup stream:
+// every time the server's flusher closes a time bucket, its Rollup
+// frame arrives here. cmd/phasetop opens one per node and folds the
+// frames into an agg.Merger.
+type RollupSub struct {
+	s  *Session
+	ch chan wire.Rollup
+}
+
+// SubscribeRollups performs a Hello handshake with wire.FlagRollup
+// set, turning the connection into a rollup subscriber. The id is
+// used only to route the handshake's Ack (no session opens
+// server-side); one subscription per client connection.
+func (c *Client) SubscribeRollups(ctx context.Context, id uint64) (*RollupSub, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.sessions[id] != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("phaseclient: session %d already open", id)
+	}
+	if c.rollupSess != nil {
+		c.mu.Unlock()
+		return nil, errors.New("phaseclient: rollup subscription already open")
+	}
+	if c.conn == nil {
+		conn, derr := c.dialLocked(ctx)
+		if derr != nil {
+			c.mu.Unlock()
+			return nil, derr
+		}
+		c.conn = conn
+		go c.readLoop(conn)
+	}
+	s := &Session{
+		c:     c,
+		id:    id,
+		acks:  make(chan wire.Ack, 1),
+		preds: make(chan wire.Prediction, 1),
+		drain: make(chan wire.Drain, 1),
+		errs:  make(chan error, 1),
+		done:  make(chan struct{}),
+	}
+	ch := make(chan wire.Rollup, c.cfg.Window)
+	c.sessions[id] = s
+	c.rollupSess, c.rollupCh = s, ch
+	err := c.writeLocked(func(b []byte) []byte {
+		return wire.AppendHello(b, &wire.Hello{SessionID: id, Flags: wire.FlagRollup})
+	})
+	c.mu.Unlock()
+	if err != nil {
+		c.forget(s)
+		return nil, err
+	}
+	select {
+	case <-s.acks:
+		return &RollupSub{s: s, ch: ch}, nil
+	case rerr := <-s.errs:
+		c.forget(s)
+		return nil, rerr
+	case <-ctx.Done():
+		c.forget(s)
+		return nil, ctx.Err()
+	}
+}
+
+// Recv returns the next rollup frame, blocking until one arrives, the
+// connection dies, or ctx is done. Frames buffered before a
+// disconnect remain readable.
+func (r *RollupSub) Recv(ctx context.Context) (wire.Rollup, error) {
+	select {
+	case v := <-r.ch:
+		return v, nil
+	default:
+	}
+	select {
+	case v := <-r.ch:
+		return v, nil
+	case err := <-r.s.errs:
+		r.s.fail(err) // re-arm done for any concurrent waiter
+		return wire.Rollup{}, err
+	case <-r.s.done:
+		// Drain anything the reader delivered before teardown.
+		select {
+		case v := <-r.ch:
+			return v, nil
+		default:
+		}
+		return wire.Rollup{}, ErrDisconnected
+	case <-ctx.Done():
+		return wire.Rollup{}, ctx.Err()
+	}
+}

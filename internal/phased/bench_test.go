@@ -34,6 +34,6 @@ func BenchmarkSessionStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		smp.Seq = uint64(i)
 		smp.MemTx = uint64(i%7) * 1e6
-		_ = sess.step(&smp, 0)
+		_, _ = sess.step(&smp, 0)
 	}
 }

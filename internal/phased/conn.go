@@ -100,6 +100,13 @@ func (sc *serverConn) writeDrain(d *wire.Drain) error {
 	return sc.flush()
 }
 
+func (sc *serverConn) writeRollup(r *wire.Rollup) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.wbuf = wire.AppendRollup(sc.wbuf[:0], r)
+	return sc.flush()
+}
+
 func (sc *serverConn) writeError(e *wire.ErrorFrame) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()

@@ -1,0 +1,86 @@
+package phased
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+
+	"phasemon/internal/agg"
+	"phasemon/internal/telemetry"
+)
+
+// Ready reports whether the server is accepting new sessions: started,
+// not draining, not closed. It backs the /readyz probe, so a load
+// balancer stops routing new monitored nodes to a draining server
+// while its in-flight sessions finish.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ln != nil && !s.draining && !s.closed
+}
+
+// RollupView snapshots the node's own merged rollup state — every
+// bucket its flusher has emitted — as the fleet view served under
+// /rollup and rendered by cmd/phasetop.
+func (s *Server) RollupView(topN int) agg.View {
+	return s.merger.Snapshot(topN)
+}
+
+// MetricsHandler is the server's HTTP observability surface: the
+// hub's telemetry routes (restricted to the phasemon_phased_* and
+// phasemon_agg_* families) plus
+//
+//	GET /healthz  200 while the process serves HTTP at all
+//	GET /readyz   200 while accepting sessions, 503 once draining
+//	GET /rollup   JSON agg.View of the merged rollup state (?top=N)
+//
+// The readiness flip on drain is what lets the serve-smoke harness
+// poll for startup and orchestration drain connections before SIGTERM.
+func (s *Server) MetricsHandler(hub *telemetry.Hub) http.Handler {
+	mux := http.NewServeMux()
+	if hub != nil {
+		mux.Handle("/", hub.PrefixHandler(telemetry.PhasedPrefix, telemetry.AggPrefix))
+	} else {
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "telemetry disabled (nil hub)", http.StatusServiceUnavailable)
+		})
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/rollup", func(w http.ResponseWriter, r *http.Request) {
+		topN := 0
+		if q := r.URL.Query().Get("top"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 1 {
+				http.Error(w, "top must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			topN = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.RollupView(topN))
+	})
+	return mux
+}
+
+// ServeMetrics starts the metrics/health/rollup HTTP server on addr
+// with telemetry.ServeHandler's contract: the bound address comes
+// back immediately, shutdown is graceful and context-bounded (the
+// Drainable shape cmd/phased's drainer expects).
+func (s *Server) ServeMetrics(addr string, hub *telemetry.Hub) (net.Addr, func(context.Context) error, error) {
+	return telemetry.ServeHandler(addr, s.MetricsHandler(hub))
+}

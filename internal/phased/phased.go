@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"phasemon/internal/agg"
 	"phasemon/internal/core"
 	"phasemon/internal/dvfs"
 	"phasemon/internal/governor"
@@ -48,6 +49,9 @@ import (
 
 // Config parameterizes a Server. The zero value is fully usable.
 type Config struct {
+	// NodeID identifies this node in the Rollup frames it emits; a
+	// fleet's phasetop merges streams from many nodes by this id.
+	NodeID uint64
 	// Workers is the prediction worker pool size; sessions are pinned
 	// to workers by session-id hash. Zero selects 4.
 	Workers int
@@ -65,6 +69,14 @@ type Config struct {
 	// their predictions are disconnected. Zero selects 5s; negative
 	// disables the deadline.
 	WriteTimeout time.Duration
+	// RollupBucket is the rollup pipeline's time-bucket length: every
+	// served, shed, or dropped sample is accumulated into the bucket
+	// covering its instant. Zero selects 1s.
+	RollupBucket time.Duration
+	// RollupFlush is the period of the flusher that emits closed
+	// buckets as Rollup frames (to subscribers and the node's own
+	// merged /rollup view). Zero selects 1s.
+	RollupFlush time.Duration
 	// Classifier defines the phase taxonomy for every session; nil
 	// selects the paper's Table 1 (phase.Default).
 	Classifier phase.Classifier
@@ -90,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 5 * time.Second
 	}
+	if c.RollupBucket <= 0 {
+		c.RollupBucket = time.Duration(agg.DefaultBucketLenNs)
+	}
+	if c.RollupFlush <= 0 {
+		c.RollupFlush = time.Second
+	}
 	if c.Classifier == nil {
 		c.Classifier = phase.Default()
 	}
@@ -101,18 +119,33 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	trans *dvfs.Translation
+	clock telemetry.Clock
 
 	workers []*worker
 	wg      sync.WaitGroup // worker goroutines
 	connWG  sync.WaitGroup // per-connection reader goroutines
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[*serverConn]struct{}
-	sessions map[uint64]*session
-	perIP    map[string]int
-	draining bool
-	closed   bool
+	// Rollup pipeline: workers ingest per-sample outcomes into agg
+	// (one shard per worker), the flusher goroutine periodically emits
+	// closed buckets as Rollup frames to subscribed connections and
+	// folds them into merger, the node's own fleet view (/rollup).
+	agg     *agg.Aggregator
+	merger  *agg.Merger
+	scratch []wire.Rollup // flusher-owned copy-out buffer
+
+	mu         sync.Mutex
+	ln         net.Listener
+	conns      map[*serverConn]struct{}
+	sessions   map[uint64]*session
+	perIP      map[string]int
+	rollupSubs map[*serverConn]struct{}
+	draining   bool
+	closed     bool
+
+	flusherStarted bool
+	flusherStop    chan struct{}
+	flusherDone    chan struct{}
+	flusherOnce    sync.Once
 
 	// Telemetry instruments, captured once at construction; nil (and
 	// therefore no-op) when the server runs unobserved.
@@ -133,12 +166,25 @@ func New(cfg Config) (*Server, error) {
 			cfg.Classifier.NumPhases(), err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		trans:    trans,
-		conns:    make(map[*serverConn]struct{}),
-		sessions: make(map[uint64]*session),
-		perIP:    make(map[string]int),
+		cfg:        cfg,
+		trans:      trans,
+		clock:      cfg.Telemetry.Clock(),
+		conns:      make(map[*serverConn]struct{}),
+		sessions:   make(map[uint64]*session),
+		perIP:      make(map[string]int),
+		rollupSubs: make(map[*serverConn]struct{}),
+		merger:     agg.NewMerger(0),
+
+		flusherStop: make(chan struct{}),
+		flusherDone: make(chan struct{}),
 	}
+	s.agg = agg.New(agg.Config{
+		NodeID:      cfg.NodeID,
+		Shards:      cfg.Workers,
+		BucketLenNs: cfg.RollupBucket.Nanoseconds(),
+		Clock:       s.clock,
+		Telemetry:   cfg.Telemetry,
+	})
 	if tel := cfg.Telemetry; tel != nil {
 		s.sessionsGauge = tel.PhasedSessions
 		s.framesIn = tel.PhasedFramesIn
@@ -148,7 +194,7 @@ func New(cfg Config) (*Server, error) {
 		s.frameSeconds = tel.PhasedFrameSeconds
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{srv: s}
+		w := &worker{srv: s, idx: i}
 		w.cond = sync.NewCond(&w.mu)
 		s.workers = append(s.workers, w)
 	}
@@ -204,7 +250,8 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// startWorkersLocked launches the worker pool once; callers hold s.mu.
+// startWorkersLocked launches the worker pool and the rollup flusher
+// once; callers hold s.mu.
 func (s *Server) startWorkersLocked() {
 	for _, w := range s.workers {
 		if w.started {
@@ -216,6 +263,70 @@ func (s *Server) startWorkersLocked() {
 			defer s.wg.Done()
 			w.run()
 		}(w)
+	}
+	if !s.flusherStarted {
+		s.flusherStarted = true
+		go s.runFlusher()
+	}
+}
+
+// runFlusher periodically emits closed rollup buckets until stopped.
+func (s *Server) runFlusher() {
+	defer close(s.flusherDone)
+	tick := time.NewTicker(s.cfg.RollupFlush)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.flusherStop:
+			return
+		case <-tick.C:
+			s.flushRollups(false)
+		}
+	}
+}
+
+// stopFlusher halts the periodic flusher and waits for it, so the
+// final FlushAll never races the ticker on the copy-out buffer.
+func (s *Server) stopFlusher() {
+	s.mu.Lock()
+	started := s.flusherStarted
+	s.mu.Unlock()
+	s.flusherOnce.Do(func() { close(s.flusherStop) })
+	if started {
+		<-s.flusherDone
+	}
+}
+
+// flushRollups drains closed buckets (every bucket when final), folds
+// them into the node's merged view, and pushes each as a Rollup frame
+// to every subscribed connection. Buckets are copied out of the flush
+// callback first: it runs under the shard lock, and a slow
+// subscriber's write must never stall ingest.
+func (s *Server) flushRollups(final bool) {
+	s.scratch = s.scratch[:0]
+	collect := func(r *wire.Rollup) { s.scratch = append(s.scratch, *r) }
+	if final {
+		s.agg.FlushAll(collect)
+	} else {
+		s.agg.FlushBefore(s.clock().UnixNano(), collect)
+	}
+	if len(s.scratch) == 0 {
+		return
+	}
+	s.mu.Lock()
+	subs := make([]*serverConn, 0, len(s.rollupSubs))
+	for sc := range s.rollupSubs {
+		subs = append(subs, sc)
+	}
+	s.mu.Unlock()
+	for i := range s.scratch {
+		r := &s.scratch[i]
+		s.merger.Add(r)
+		for _, sc := range subs {
+			if err := sc.writeRollup(r); err != nil {
+				s.dropConn(sc)
+			}
+		}
 	}
 }
 
@@ -249,6 +360,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	// Wait for every session to flush and close, up to the deadline.
 	err := s.awaitSessions(ctx)
+
+	// Emit every remaining rollup bucket — partial windows included —
+	// while subscriber connections are still open, so a draining node
+	// never discards accumulated counts. The ticker is stopped first;
+	// the final flush owns the copy-out buffer alone.
+	s.stopFlusher()
+	s.flushRollups(true)
 
 	s.mu.Lock()
 	s.closed = true
@@ -346,7 +464,7 @@ func (s *Server) readLoop(sc *serverConn) {
 			if !s.handleClientDrain(sc, payload) {
 				return
 			}
-		case wire.KindAck, wire.KindPrediction, wire.KindError, wire.KindInvalid:
+		case wire.KindAck, wire.KindPrediction, wire.KindRollup, wire.KindError, wire.KindInvalid:
 			// Server-to-client kinds arriving here mean a confused
 			// peer; KindInvalid cannot leave the decoder.
 			s.protoErrs.Inc()
@@ -371,6 +489,9 @@ func (s *Server) handleHello(sc *serverConn, payload []byte) bool {
 		s.protoErrs.Inc()
 		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame, Msg: []byte(err.Error())})
 		return false
+	}
+	if h.Flags&wire.FlagRollup != 0 {
+		return s.handleRollupHello(sc, &h)
 	}
 	spec := string(h.Spec)
 	spec = strings.TrimPrefix(spec, governor.MonitorPrefix)
@@ -442,6 +563,25 @@ func (s *Server) handleHello(sc *serverConn, payload []byte) bool {
 	return true
 }
 
+// handleRollupHello subscribes the connection to the rollup stream: no
+// session is opened (the Spec is ignored), the Hello is answered with
+// an Ack, and from then on every flushed bucket is pushed to the
+// connection as a Rollup frame until it closes.
+func (s *Server) handleRollupHello(sc *serverConn, h *wire.Hello) bool {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeOverloaded,
+			SessionID: h.SessionID, Msg: []byte("server draining")})
+		return false
+	}
+	s.rollupSubs[sc] = struct{}{}
+	s.mu.Unlock()
+	return sc.writeAck(&wire.Ack{SessionID: h.SessionID,
+		NumPhases: uint8(s.cfg.Classifier.NumPhases())}) == nil
+}
+
 // handleSample queues one sample on its session's pinned worker.
 func (s *Server) handleSample(sc *serverConn, payload []byte) bool {
 	var smp wire.Sample
@@ -468,6 +608,10 @@ func (s *Server) handleSample(sc *serverConn, payload []byte) bool {
 	if d := sess.queue.push(smp); d > 0 {
 		sess.dropped += uint64(d)
 		s.drops.Add(uint64(d))
+		// A shed sample was never served, so it has no class or setting;
+		// the rollup counts it against the fleet's shed rate only.
+		s.agg.IngestAt(w.idx, s.clock().UnixNano(), sess.id,
+			phase.ClassUnknown, 0, agg.OutcomeShed, 0)
 	}
 	w.scheduleLocked(sess)
 	w.mu.Unlock()
@@ -518,6 +662,7 @@ func (s *Server) dropConn(sc *serverConn) {
 	sc.close()
 	s.mu.Lock()
 	delete(s.conns, sc)
+	delete(s.rollupSubs, sc)
 	s.mu.Unlock()
 	for _, sess := range sc.takeSessions() {
 		w := s.workerFor(sess.id)

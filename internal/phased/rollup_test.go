@@ -1,0 +1,187 @@
+package phased
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"phasemon/internal/phaseclient"
+	"phasemon/internal/wire"
+)
+
+// TestRollupSubscription: a connection that Hellos with FlagRollup
+// receives the node's Rollup frames; across the stream plus the final
+// drain flush, every served sample and the session start are
+// accounted for, and the node's merged /rollup view agrees.
+func TestRollupSubscription(t *testing.T) {
+	const n = 40
+	srv, addr, hub := startServer(t, Config{
+		NodeID:       9,
+		RollupBucket: 50 * time.Millisecond,
+		RollupFlush:  10 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	subCl := phaseclient.New(phaseclient.Config{Addr: addr})
+	defer subCl.Close()
+	sub, err := subCl.SubscribeRollups(ctx, 1)
+	if err != nil {
+		t.Fatalf("SubscribeRollups: %v", err)
+	}
+
+	cl := phaseclient.New(phaseclient.Config{Addr: addr})
+	defer cl.Close()
+	sess, _, err := cl.Open(ctx, 7, "lastvalue", 100e6)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := sess.Send(wire.Sample{Seq: uint64(i), Uops: 100e6, Cycles: 90e6}); err != nil {
+			t.Fatalf("Send #%d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := sess.Recv(ctx); err != nil {
+			t.Fatalf("Recv #%d: %v", i, err)
+		}
+	}
+	// Shutdown flushes the partial bucket to subscribers before the
+	// connections close, so the stream carries the full count.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	var samples, starts uint64
+	for samples < n {
+		r, err := sub.Recv(ctx)
+		if err != nil {
+			t.Fatalf("rollup Recv after %d/%d samples: %v", samples, n, err)
+		}
+		if r.NodeID != 9 {
+			t.Fatalf("rollup NodeID = %d, want 9", r.NodeID)
+		}
+		if r.BucketLenNs != uint64(50*time.Millisecond) {
+			t.Fatalf("rollup BucketLenNs = %d, want %d", r.BucketLenNs, 50*time.Millisecond)
+		}
+		for _, c := range r.Samples {
+			samples += c
+		}
+		starts += r.Starts
+	}
+	if samples != n {
+		t.Fatalf("rollup samples = %d, want %d", samples, n)
+	}
+	if starts != 1 {
+		t.Fatalf("rollup session starts = %d, want 1", starts)
+	}
+
+	v := srv.RollupView(0)
+	if v.Samples != n || v.Starts != 1 || v.Nodes != 1 {
+		t.Fatalf("merged view samples=%d starts=%d nodes=%d, want %d/1/1",
+			v.Samples, v.Starts, v.Nodes, n)
+	}
+	// lastvalue over a constant workload: after the unscored first
+	// interval every prediction hits.
+	if v.Hits != n-1 || v.Misses != 0 {
+		t.Fatalf("merged view hits=%d misses=%d, want %d/0", v.Hits, v.Misses, n-1)
+	}
+	if len(v.Top) == 0 || v.Top[0].SessionID != 7 || v.Top[0].Samples != n {
+		t.Fatalf("top sessions = %+v, want session 7 with %d samples", v.Top, n)
+	}
+	if got := hub.PhasedProtocolErrors.Value(); got != 0 {
+		t.Fatalf("protocol errors = %d, want 0", got)
+	}
+}
+
+// TestRollupSubscriptionRejectedWhileDraining: a FlagRollup Hello
+// against a draining server draws CodeOverloaded, like a session open.
+func TestRollupSubscriptionRejectedWhileDraining(t *testing.T) {
+	srv, addr, _ := startServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	cl := phaseclient.New(phaseclient.Config{
+		Addr: addr, MaxAttempts: 2,
+		BackoffBase: 5 * time.Millisecond, DialTimeout: time.Second,
+	})
+	defer cl.Close()
+	if _, err := cl.SubscribeRollups(ctx, 1); err == nil {
+		t.Fatal("SubscribeRollups succeeded against a shut-down server")
+	}
+}
+
+// TestMetricsEndpoints covers the HTTP surface: health always ok,
+// readiness drain-aware, /rollup serving the merged view, and the
+// metrics route carrying both the phased and agg instrument families.
+func TestMetricsEndpoints(t *testing.T) {
+	srv, _, hub := startServer(t, Config{
+		RollupBucket: 20 * time.Millisecond,
+		RollupFlush:  5 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.MetricsHandler(hub))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d before drain, want 200", code)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "phasemon_agg_ingested_total") ||
+		!strings.Contains(body, "phasemon_phased_sessions") {
+		t.Fatalf("/metrics = %d, must carry both phased and agg families (got %d bytes)",
+			code, len(body))
+	}
+	code, body := get("/rollup")
+	if code != http.StatusOK {
+		t.Fatalf("/rollup = %d, want 200", code)
+	}
+	var v struct {
+		Samples *uint64 `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil || v.Samples == nil {
+		t.Fatalf("/rollup not a View JSON (%v): %q", err, body)
+	}
+	if code, _ := get("/rollup?top=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("/rollup?top=bogus = %d, want 400", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d after drain, want 503", code)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d after drain, want 200 (process still up)", code)
+	}
+}

@@ -3,6 +3,7 @@ package phased
 import (
 	"fmt"
 
+	"phasemon/internal/agg"
 	"phasemon/internal/core"
 	"phasemon/internal/dvfs"
 	"phasemon/internal/phase"
@@ -123,12 +124,27 @@ type session struct {
 // run over the same counters. dropped is the worker's snapshot of the
 // session's cumulative eviction count (taken under the worker lock, so
 // step itself stays lock-free).
-func (s *session) step(smp *wire.Sample, dropped uint64) wire.Prediction {
+//
+// The returned Outcome scores the prediction that was pending for this
+// interval, by the monitor's own rule (core.Monitor.Step): the first
+// interval is unscored, after that the pending prediction either hit
+// or missed the classified phase. It feeds the rollup pipeline, so a
+// bucket's hit/miss counts agree exactly with the monitors' tallies.
+func (s *session) step(smp *wire.Sample, dropped uint64) (wire.Prediction, agg.Outcome) {
 	in := phase.Sample{
 		MemPerUop: safeDiv(float64(smp.MemTx), float64(smp.Uops)),
 		UPC:       safeDiv(float64(smp.Uops), float64(smp.Cycles)),
 	}
+	pending := s.mon.LastPrediction()
 	actual, next := s.mon.Step(in)
+	outcome := agg.OutcomeUnscored
+	if s.processed > 0 {
+		if pending == actual {
+			outcome = agg.OutcomeHit
+		} else {
+			outcome = agg.OutcomeMiss
+		}
+	}
 	s.lastSeq = smp.Seq
 	s.processed++
 	return wire.Prediction{
@@ -139,7 +155,7 @@ func (s *session) step(smp *wire.Sample, dropped uint64) wire.Prediction {
 		Class:     uint8(phase.ClassOf(next, s.numPhases)),
 		Setting:   uint8(s.trans.Setting(next)),
 		Dropped:   dropped,
-	}
+	}, outcome
 }
 
 // safeDiv mirrors kernelsim's division guard: identical arithmetic is

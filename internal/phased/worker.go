@@ -4,6 +4,8 @@ import (
 	"sync"
 	"time"
 
+	"phasemon/internal/dvfs"
+	"phasemon/internal/phase"
 	"phasemon/internal/wire"
 )
 
@@ -13,7 +15,11 @@ import (
 // monitors step, which is what serializes per-session prediction
 // compute without per-session locks.
 type worker struct {
-	srv     *Server
+	srv *Server
+	// idx is the worker's position in the pool and its shard index in
+	// the rollup aggregator: the two are pinned by the same FNV-1a
+	// hash, so a session's outcomes always land in one agg shard.
+	idx     int
 	mu      sync.Mutex
 	cond    *sync.Cond
 	runq    []*session
@@ -78,9 +84,17 @@ func (w *worker) run() {
 		if !closed {
 			for i := range batch {
 				start := time.Now()
-				p := sess.step(&batch[i], dropped)
+				p, outcome := sess.step(&batch[i], dropped)
 				err := sess.conn.writePrediction(&p)
-				w.srv.frameSeconds.Observe(time.Since(start).Seconds())
+				elapsed := time.Since(start)
+				w.srv.frameSeconds.Observe(elapsed.Seconds())
+				// The rollup reuses the latency measurement's own start
+				// time, so the hot path reads the clock exactly twice.
+				// Class/Setting come from the prediction: the pair the
+				// translation will actually apply next interval.
+				w.srv.agg.IngestAt(w.idx, start.UnixNano(), sess.id,
+					phase.Class(p.Class), dvfs.Setting(p.Setting), outcome,
+					elapsed.Nanoseconds())
 				if err != nil {
 					w.srv.dropConn(sess.conn)
 					closed = true

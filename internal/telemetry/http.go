@@ -25,13 +25,15 @@ func (h *Hub) Handler() http.Handler {
 }
 
 // PrefixHandler is Handler with the instrument surface restricted to
-// names beginning with prefix (see Registry.SnapshotPrefix): /metrics
-// and the metrics section of /snapshot carry only the matching family,
-// while the accuracy view and journal are served unfiltered. This is
-// how a service built on a full hub — the phased server, whose hub
-// also carries the per-session monitor instruments — exposes exactly
-// its own phasemon_phased_* family without a second exporter.
-func (h *Hub) PrefixHandler(prefix string) http.Handler {
+// names beginning with one of the given prefixes (see
+// Registry.SnapshotPrefix): /metrics and the metrics section of
+// /snapshot carry only the matching families, while the accuracy view
+// and journal are served unfiltered. This is how a service built on a
+// full hub — the phased server, whose hub also carries the
+// per-session monitor instruments — exposes exactly its own
+// phasemon_phased_* and phasemon_agg_* families without a second
+// exporter.
+func (h *Hub) PrefixHandler(prefixes ...string) http.Handler {
 	if h == nil {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "telemetry disabled (nil hub)", http.StatusServiceUnavailable)
@@ -43,14 +45,14 @@ func (h *Hub) PrefixHandler(prefix string) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = WritePrometheus(w, h.Registry.SnapshotPrefix(prefix))
+		_ = WritePrometheus(w, h.Registry.SnapshotPrefix(prefixes...))
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if !methodIsGet(w, r) {
 			return
 		}
 		snap := h.Snapshot()
-		snap.Metrics = h.Registry.SnapshotPrefix(prefix)
+		snap.Metrics = h.Registry.SnapshotPrefix(prefixes...)
 		writeJSON(w, snap)
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
@@ -124,17 +126,25 @@ func (h *Hub) Serve(addr string) (bound net.Addr, shutdown func(), err error) {
 	}, nil
 }
 
-// ServePrefix starts an HTTP server exposing PrefixHandler(prefix) on
-// addr and returns the bound address plus a graceful, context-bounded
-// shutdown function (http.Server.Shutdown semantics: stop accepting,
-// let in-flight scrapes finish, then close). It is the serve entry
-// point drain helpers (phased.Drainer) expect.
-func (h *Hub) ServePrefix(addr, prefix string) (bound net.Addr, shutdown func(context.Context) error, err error) {
+// ServePrefix starts an HTTP server exposing PrefixHandler(prefixes)
+// on addr and returns the bound address plus a graceful,
+// context-bounded shutdown function (http.Server.Shutdown semantics:
+// stop accepting, let in-flight scrapes finish, then close). It is the
+// serve entry point drain helpers (phased.Drainer) expect.
+func (h *Hub) ServePrefix(addr string, prefixes ...string) (bound net.Addr, shutdown func(context.Context) error, err error) {
+	return ServeHandler(addr, h.PrefixHandler(prefixes...))
+}
+
+// ServeHandler starts an HTTP server for an arbitrary handler on addr
+// with the same contract as ServePrefix; services that wrap the hub's
+// handler with extra routes (the phased metrics server) use it to keep
+// one serve/shutdown path.
+func ServeHandler(addr string, handler http.Handler) (bound net.Addr, shutdown func(context.Context) error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: h.PrefixHandler(prefix)}
+	srv := &http.Server{Handler: handler}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr(), srv.Shutdown, nil
 }

@@ -70,6 +70,9 @@ type Event struct {
 	// Step is the monitor step (sampling interval index) the event
 	// belongs to; -1 when the emitting site has no interval context.
 	Step int `json:"step"`
+	// UnixNs is the hub clock's reading when the event was recorded,
+	// in Unix nanoseconds; 0 when the event was built without a hub.
+	UnixNs int64 `json:"unix_ns,omitempty"`
 	// From and To describe a transition (phase or setting, per Kind).
 	From int `json:"from,omitempty"`
 	To   int `json:"to,omitempty"`

@@ -136,6 +136,35 @@ type HistogramSnapshot struct {
 	Sum float64 `json:"sum"`
 }
 
+// Merge adds other's buckets, count, and sum into s. The snapshots
+// must have identical bounds — merging histograms with different
+// bucketing has no meaning — and identical Counts lengths; anything
+// else is an error and leaves s unchanged. Merging is how per-shard
+// (and per-node) latency histograms roll up into one fleet view:
+// because buckets are plain counts, merging N shard snapshots equals
+// snapshotting one histogram fed all N shards' observations.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("telemetry: merging into a nil snapshot")
+	}
+	if len(s.Bounds) != len(other.Bounds) || len(s.Counts) != len(other.Counts) {
+		return fmt.Errorf("telemetry: merging histograms with %d/%d bounds and %d/%d buckets",
+			len(s.Bounds), len(other.Bounds), len(s.Counts), len(other.Counts))
+	}
+	for i, b := range s.Bounds {
+		if b != other.Bounds[i] {
+			return fmt.Errorf("telemetry: merging histograms with different bounds (%v vs %v at %d)",
+				b, other.Bounds[i], i)
+		}
+	}
+	for i, c := range other.Counts {
+		s.Counts[i] += c
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	return nil
+}
+
 // Snapshot copies the histogram state. Because buckets are read one by
 // one while writers proceed, the copy is consistent only up to the
 // atomicity of each bucket — fine for monitoring, not for accounting.
@@ -280,11 +309,11 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // SnapshotPrefix copies every registered instrument whose name begins
-// with prefix — the filter a service uses to export only its own
-// metric family (e.g. telemetry.PhasedPrefix) off a hub that also
-// carries the in-process instruments. The empty prefix selects
-// everything.
-func (r *Registry) SnapshotPrefix(prefix string) Snapshot {
+// with one of the given prefixes — the filter a service uses to export
+// only its own metric families (e.g. telemetry.PhasedPrefix and
+// telemetry.AggPrefix) off a hub that also carries the in-process
+// instruments. No prefixes, or any empty prefix, selects everything.
+func (r *Registry) SnapshotPrefix(prefixes ...string) Snapshot {
 	s := Snapshot{
 		Counters:   make(map[string]uint64),
 		Gauges:     make(map[string]float64),
@@ -293,20 +322,31 @@ func (r *Registry) SnapshotPrefix(prefix string) Snapshot {
 	if r == nil {
 		return s
 	}
+	match := func(name string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for name, c := range r.counters {
-		if strings.HasPrefix(name, prefix) {
+		if match(name) {
 			s.Counters[name] = c.Value()
 		}
 	}
 	for name, g := range r.gauges {
-		if strings.HasPrefix(name, prefix) {
+		if match(name) {
 			s.Gauges[name] = g.Value()
 		}
 	}
 	for name, h := range r.histograms {
-		if strings.HasPrefix(name, prefix) {
+		if match(name) {
 			s.Histograms[name] = h.Snapshot()
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"phasemon/internal/stats"
 )
@@ -56,12 +57,38 @@ const (
 	MetricPhasedDroppedSamples = "phasemon_phased_dropped_samples_total"
 	MetricPhasedProtocolErrors = "phasemon_phased_protocol_errors_total"
 	MetricPhasedFrameSeconds   = "phasemon_phased_frame_seconds"
+
+	// Rollup-pipeline self-telemetry (the agg package).
+	MetricAggIngested       = "phasemon_agg_ingested_total"
+	MetricAggRollups        = "phasemon_agg_rollups_total"
+	MetricAggBucketsDropped = "phasemon_agg_buckets_dropped_total"
+	MetricAggLateSamples    = "phasemon_agg_late_samples_total"
+	MetricAggOpenBuckets    = "phasemon_agg_open_buckets"
 )
 
 // PhasedPrefix selects the serving-path instruments for prefix-
 // filtered export: a phased deployment exposes exactly the
 // phasemon_phased_* family on its public /metrics.
 const PhasedPrefix = "phasemon_phased_"
+
+// AggPrefix selects the rollup pipeline's self-telemetry
+// (phasemon_agg_*); a phased deployment exports it alongside
+// PhasedPrefix.
+const AggPrefix = "phasemon_agg_"
+
+// Clock is an injectable time source. Hubs stamp journal events with
+// it, and the agg package buckets rollups by it; tests inject a fixed
+// or stepped clock to make both deterministic.
+type Clock func() time.Time
+
+// HubOption configures a Hub at construction.
+type HubOption func(*Hub)
+
+// WithClock sets the hub's time source. A nil clock (the default)
+// selects the wall clock.
+func WithClock(c Clock) HubOption {
+	return func(h *Hub) { h.clock = c }
+}
 
 // DefaultMemPerUopBounds are the Mem/Uop histogram bucket bounds — the
 // paper's Table 1 phase boundaries, so each bucket is one phase.
@@ -148,12 +175,15 @@ type Hub struct {
 	// stats.Confusion and reuse that type's export paths.
 	numPhases int //lint:immutable set once in NewHub, read-only afterwards
 	conf      []atomic.Uint64
+
+	// clock is the hub's time source; nil means the wall clock.
+	clock Clock //lint:immutable set once in NewHub, read-only afterwards
 }
 
 // NewHub builds a hub for a classifier with numPhases phases (values
 // below 1 select the paper's 6) with freshly registered instruments
 // and a DefaultJournalCapacity journal.
-func NewHub(numPhases int) *Hub {
+func NewHub(numPhases int, opts ...HubOption) *Hub {
 	if numPhases < 1 {
 		numPhases = 6
 	}
@@ -197,7 +227,30 @@ func NewHub(numPhases int) *Hub {
 	h.PhasedFrameSeconds, _ = reg.Histogram(MetricPhasedFrameSeconds, DefaultFrameBounds)
 	h.numPhases = numPhases
 	h.conf = make([]atomic.Uint64, (numPhases+1)*(numPhases+1))
+	for _, opt := range opts {
+		opt(h)
+	}
 	return h
+}
+
+// Now reads the hub's clock: the injected Clock when one was set, the
+// wall clock otherwise (including on a nil hub).
+func (h *Hub) Now() time.Time {
+	if h != nil && h.clock != nil {
+		return h.clock()
+	}
+	return time.Now()
+}
+
+// Clock returns the hub's time source as a Clock, for components (the
+// agg pipeline) that bucket by the same time base the hub stamps
+// events with. Never nil; on a nil hub or unset clock it reads the
+// wall clock.
+func (h *Hub) Clock() Clock {
+	if h != nil && h.clock != nil {
+		return h.clock
+	}
+	return time.Now
 }
 
 // confCell maps a phase ID onto a matrix index, clamping
@@ -222,7 +275,7 @@ func (h *Hub) RecordPrediction(step, predicted, actual int) {
 	}
 	h.conf[h.confCell(actual)*(h.numPhases+1)+h.confCell(predicted)].Add(1)
 	h.Journal.Record(Event{
-		Kind: KindPrediction, Step: step,
+		Kind: KindPrediction, Step: step, UnixNs: h.Now().UnixNano(),
 		Predicted: predicted, Actual: actual, Correct: correct,
 	})
 }
@@ -234,7 +287,7 @@ func (h *Hub) RecordPhaseTransition(step, from, to int) {
 		return
 	}
 	h.PhaseTransitions.Inc()
-	h.Journal.Record(Event{Kind: KindPhaseTransition, Step: step, From: from, To: to})
+	h.Journal.Record(Event{Kind: KindPhaseTransition, Step: step, UnixNs: h.Now().UnixNano(), From: from, To: to})
 }
 
 // RecordDVFSChange journals an operating-point change and bumps the
@@ -246,7 +299,7 @@ func (h *Hub) RecordDVFSChange(step, from, to int) {
 	}
 	h.DVFSTransitions.Inc()
 	h.CurrentSetting.Set(float64(to))
-	h.Journal.Record(Event{Kind: KindDVFSChange, Step: step, From: from, To: to})
+	h.Journal.Record(Event{Kind: KindDVFSChange, Step: step, UnixNs: h.Now().UnixNano(), From: from, To: to})
 }
 
 // RecordPMISample journals one PMI delivery and feeds the sample
@@ -256,7 +309,7 @@ func (h *Hub) RecordPMISample(step int, memPerUop, upc float64) {
 		return
 	}
 	h.PMISamples.Inc()
-	h.Journal.Record(Event{Kind: KindPMISample, Step: step, MemPerUop: memPerUop, UPC: upc})
+	h.Journal.Record(Event{Kind: KindPMISample, Step: step, UnixNs: h.Now().UnixNano(), MemPerUop: memPerUop, UPC: upc})
 }
 
 // AccuracyView is the live prediction-accuracy summary served by

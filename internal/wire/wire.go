@@ -3,9 +3,10 @@
 // from monitored nodes to a phase-prediction service and predictions
 // back (DESIGN.md §11).
 //
-// The protocol is deliberately minimal — six frame kinds over one TCP
-// stream, multiplexing any number of sessions by an explicit session
-// id — and deliberately cheap: every frame is a fixed 8-byte header,
+// The protocol is deliberately minimal — seven frame kinds over one
+// TCP stream, multiplexing any number of sessions by an explicit
+// session id — and deliberately cheap: every frame is a fixed 8-byte
+// header,
 // a payload, and a CRC-32 trailer, and both directions of the hot
 // path (Sample in, Prediction out) encode and decode without
 // allocating, which the package's testing.AllocsPerRun tests prove.
@@ -85,6 +86,11 @@ const (
 	// KindError reports a protocol or session failure; conn-fatal
 	// errors carry session id 0.
 	KindError
+	// KindRollup carries one aggregation bucket's fleet rollup
+	// (server → subscriber): per-(class × setting) sample/hit/miss
+	// counts, latency histogram, and the bucket's top sessions.
+	// Emitted on connections that opened with FlagRollup.
+	KindRollup
 )
 
 // String names the kind for logs and errors.
@@ -104,13 +110,15 @@ func (k FrameKind) String() string {
 		return "drain"
 	case KindError:
 		return "error"
+	case KindRollup:
+		return "rollup"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // Valid reports whether k is a kind defined by protocol version 1.
-func (k FrameKind) Valid() bool { return k >= KindHello && k <= KindError }
+func (k FrameKind) Valid() bool { return k >= KindHello && k <= KindRollup }
 
 // ErrorCode classifies Error frames.
 type ErrorCode uint16
@@ -189,12 +197,19 @@ type Hello struct {
 	// GranularityUops is the node's sampling interval in retired uops
 	// (informational; the paper's deployment uses 100M).
 	GranularityUops uint64
-	// Flags is reserved; senders must set 0.
+	// Flags modifies the session being opened; undefined bits must be
+	// sent as 0. FlagRollup is the only flag defined by version 1.
 	Flags uint16
 	// Spec is the predictor spec string (core.PredictorSpec grammar,
 	// e.g. "gpht_8_128") the session's predictor is built from.
 	Spec []byte
 }
+
+// FlagRollup, set on a Hello, subscribes the connection to the
+// server's rollup stream instead of opening a prediction session: the
+// server answers with an Ack and thereafter pushes a Rollup frame per
+// flushed aggregation bucket. The Hello's Spec is ignored.
+const FlagRollup uint16 = 1 << 0
 
 // Ack accepts a session.
 type Ack struct {
@@ -262,6 +277,73 @@ type ErrorFrame struct {
 	Msg       []byte
 }
 
+// Rollup grid dimensions. They are part of the version-1 wire format:
+// changing any of them changes the Rollup payload size and therefore
+// requires a protocol version bump.
+const (
+	// RollupClasses is the number of phase classes a rollup
+	// distinguishes: phase.ClassUnknown plus the paper's six-way
+	// taxonomy (phase.NumClasses).
+	RollupClasses = 7
+	// RollupSettings is the number of DVFS operating points
+	// (dvfs.NumSettings, the Pentium M SpeedStep ladder).
+	RollupSettings = 6
+	// RollupCells is the flattened (class × setting) grid; cell index
+	// is class*RollupSettings + setting.
+	RollupCells = RollupClasses * RollupSettings
+	// RollupLatBuckets is the number of cumulative latency-histogram
+	// buckets (telemetry.DefaultFrameBounds' seven bounds plus the
+	// overflow bucket).
+	RollupLatBuckets = 8
+	// RollupTopK is the number of top (greediest-by-samples) sessions a
+	// rollup carries.
+	RollupTopK = 8
+)
+
+// RollupTop is one entry of a rollup's top-sessions list.
+type RollupTop struct {
+	// SessionID is the fleet-unique session id.
+	SessionID uint64
+	// Samples is the session's sample count within the bucket.
+	Samples uint64
+}
+
+// Rollup carries one flushed aggregation bucket from one shard of a
+// phased node: fixed-size, integer-only counts so rollups from any
+// number of shards and nodes merge by addition (internal/agg).
+type Rollup struct {
+	// NodeID identifies the emitting phased node.
+	NodeID uint64
+	// Shard is the emitting shard (worker) index within the node.
+	Shard uint32
+	// BucketStart is the bucket's start time in Unix nanoseconds,
+	// aligned down to a multiple of BucketLenNs.
+	BucketStart uint64
+	// BucketLenNs is the bucket length in nanoseconds.
+	BucketLenNs uint64
+	// Starts counts sessions whose first (unscored) interval landed in
+	// this bucket — an exact distinct-session-starts count.
+	Starts uint64
+	// Shed counts samples dropped by backpressure in this bucket.
+	Shed uint64
+	// LatSumNs is the summed serving latency of the bucket's scored
+	// samples, in nanoseconds.
+	LatSumNs uint64
+	// Samples counts scored samples per (class × setting) cell.
+	Samples [RollupCells]uint64
+	// Hits counts correct predictions per cell; Misses counts
+	// incorrect ones. Samples - Hits - Misses is the cell's unscored
+	// (first-interval) count.
+	Hits   [RollupCells]uint64
+	Misses [RollupCells]uint64
+	// LatCounts is the serving-latency histogram over
+	// telemetry.DefaultFrameBounds (last bucket is overflow).
+	LatCounts [RollupLatBuckets]uint64
+	// Top lists the bucket's highest-volume sessions, count
+	// descending then session id ascending; unused entries are zero.
+	Top [RollupTopK]RollupTop
+}
+
 // Payload sizes of the fixed-size frames.
 const (
 	ackSize        = 9
@@ -270,6 +352,9 @@ const (
 	drainSize      = 16
 	helloFixed     = 20 // sessionID + granularity + flags + specLen
 	errorFixed     = 12 // code + sessionID + msgLen
+	// rollupSize: 7 scalar fields (NodeID..LatSumNs, Shard packed as 4
+	// bytes) + 3 cell grids + latency buckets + top-K pairs.
+	rollupSize = 52 + 3*8*RollupCells + 8*RollupLatBuckets + 16*RollupTopK
 )
 
 // --- encoding ------------------------------------------------------
@@ -359,6 +444,36 @@ func AppendError(dst []byte, e *ErrorFrame) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, e.SessionID)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
 	dst = append(dst, msg...)
+	return appendCRC(dst, start)
+}
+
+// AppendRollup encodes a Rollup frame onto dst.
+func AppendRollup(dst []byte, r *Rollup) []byte {
+	start := len(dst)
+	dst = appendHeader(dst, KindRollup, rollupSize)
+	dst = binary.BigEndian.AppendUint64(dst, r.NodeID)
+	dst = binary.BigEndian.AppendUint32(dst, r.Shard)
+	dst = binary.BigEndian.AppendUint64(dst, r.BucketStart)
+	dst = binary.BigEndian.AppendUint64(dst, r.BucketLenNs)
+	dst = binary.BigEndian.AppendUint64(dst, r.Starts)
+	dst = binary.BigEndian.AppendUint64(dst, r.Shed)
+	dst = binary.BigEndian.AppendUint64(dst, r.LatSumNs)
+	for i := range r.Samples {
+		dst = binary.BigEndian.AppendUint64(dst, r.Samples[i])
+	}
+	for i := range r.Hits {
+		dst = binary.BigEndian.AppendUint64(dst, r.Hits[i])
+	}
+	for i := range r.Misses {
+		dst = binary.BigEndian.AppendUint64(dst, r.Misses[i])
+	}
+	for i := range r.LatCounts {
+		dst = binary.BigEndian.AppendUint64(dst, r.LatCounts[i])
+	}
+	for i := range r.Top {
+		dst = binary.BigEndian.AppendUint64(dst, r.Top[i].SessionID)
+		dst = binary.BigEndian.AppendUint64(dst, r.Top[i].Samples)
+	}
 	return appendCRC(dst, start)
 }
 
@@ -466,6 +581,43 @@ func DecodeError(payload []byte, e *ErrorFrame) error {
 		return fmt.Errorf("%w: error msg length %d in %d-byte payload", ErrShort, n, len(payload))
 	}
 	e.Msg = payload[errorFixed:]
+	return nil
+}
+
+// DecodeRollup parses a Rollup payload into r without allocating.
+func DecodeRollup(payload []byte, r *Rollup) error {
+	if len(payload) != rollupSize {
+		return fmt.Errorf("%w: rollup %d bytes", ErrShort, len(payload))
+	}
+	r.NodeID = binary.BigEndian.Uint64(payload)
+	r.Shard = binary.BigEndian.Uint32(payload[8:])
+	r.BucketStart = binary.BigEndian.Uint64(payload[12:])
+	r.BucketLenNs = binary.BigEndian.Uint64(payload[20:])
+	r.Starts = binary.BigEndian.Uint64(payload[28:])
+	r.Shed = binary.BigEndian.Uint64(payload[36:])
+	r.LatSumNs = binary.BigEndian.Uint64(payload[44:])
+	off := 52
+	for i := range r.Samples {
+		r.Samples[i] = binary.BigEndian.Uint64(payload[off:])
+		off += 8
+	}
+	for i := range r.Hits {
+		r.Hits[i] = binary.BigEndian.Uint64(payload[off:])
+		off += 8
+	}
+	for i := range r.Misses {
+		r.Misses[i] = binary.BigEndian.Uint64(payload[off:])
+		off += 8
+	}
+	for i := range r.LatCounts {
+		r.LatCounts[i] = binary.BigEndian.Uint64(payload[off:])
+		off += 8
+	}
+	for i := range r.Top {
+		r.Top[i].SessionID = binary.BigEndian.Uint64(payload[off:])
+		r.Top[i].Samples = binary.BigEndian.Uint64(payload[off+8:])
+		off += 16
+	}
 	return nil
 }
 

@@ -16,6 +16,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 	pred := Prediction{SessionID: 7, Seq: 41, Actual: 3, Next: 5, Class: 5, Setting: 4, Dropped: 2}
 	drain := Drain{SessionID: 7, LastSeq: 41}
 	errf := ErrorFrame{Code: CodeBadSpec, SessionID: 7, Msg: []byte("no such predictor")}
+	rollup := testRollup()
 
 	buf = AppendHello(buf, &hello)
 	buf = AppendAck(buf, &ack)
@@ -23,9 +24,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 	buf = AppendPrediction(buf, &pred)
 	buf = AppendDrain(buf, &drain)
 	buf = AppendError(buf, &errf)
+	buf = AppendRollup(buf, rollup)
 
 	d := NewDecoder(bytes.NewReader(buf))
-	wantKinds := []FrameKind{KindHello, KindAck, KindSample, KindPrediction, KindDrain, KindError}
+	wantKinds := []FrameKind{KindHello, KindAck, KindSample, KindPrediction, KindDrain, KindError, KindRollup}
 	for i, want := range wantKinds {
 		kind, payload, err := d.Next()
 		if err != nil {
@@ -83,6 +85,14 @@ func TestRoundTripAllKinds(t *testing.T) {
 			if e.Code != errf.Code || e.SessionID != errf.SessionID || string(e.Msg) != string(errf.Msg) {
 				t.Errorf("error round trip = %+v, want %+v", e, errf)
 			}
+		case KindRollup:
+			var r Rollup
+			if err := DecodeRollup(payload, &r); err != nil {
+				t.Fatal(err)
+			}
+			if r != *rollup {
+				t.Errorf("rollup round trip = %+v, want %+v", r, *rollup)
+			}
 		case KindInvalid:
 			t.Fatalf("decoder returned KindInvalid without error")
 		default:
@@ -91,6 +101,143 @@ func TestRoundTripAllKinds(t *testing.T) {
 	}
 	if _, _, err := d.Next(); err != io.EOF {
 		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// testRollup builds a Rollup with every field populated by a distinct
+// deterministic value, so round-trip comparisons catch swapped or
+// skipped fields.
+func testRollup() *Rollup {
+	r := &Rollup{
+		NodeID:      0xDEADBEEF00000001,
+		Shard:       3,
+		BucketStart: 1_700_000_000_000_000_000,
+		BucketLenNs: 1_000_000_000,
+		Starts:      17,
+		Shed:        5,
+		LatSumNs:    987_654_321,
+	}
+	for i := range r.Samples {
+		r.Samples[i] = uint64(1000 + i)
+		r.Hits[i] = uint64(500 + i)
+		r.Misses[i] = uint64(100 + i)
+	}
+	for i := range r.LatCounts {
+		r.LatCounts[i] = uint64(10 + i)
+	}
+	for i := range r.Top {
+		r.Top[i] = RollupTop{SessionID: uint64(900 - i), Samples: uint64(80 - i)}
+	}
+	return r
+}
+
+// TestRollupCorruption exercises the Rollup frame against the same
+// corruption classes the generic decoder test covers, plus
+// payload-length lies specific to its fixed layout.
+func TestRollupCorruption(t *testing.T) {
+	valid := AppendRollup(nil, testRollup())
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"flipped payload bit", func(b []byte) []byte { b[HeaderSize+60] ^= 0x01; return b }, ErrBadCRC},
+		{"flipped crc bit", func(b []byte) []byte { b[len(b)-2] ^= 0x80; return b }, ErrBadCRC},
+		{"truncated mid-payload", func(b []byte) []byte { return b[:HeaderSize+rollupSize/2] }, ErrBadFrame},
+		{"truncated trailer", func(b []byte) []byte { return b[:len(b)-1] }, ErrBadFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), valid...))
+			_, _, err := NewDecoder(bytes.NewReader(b)).Next()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("err = %v does not wrap ErrBadFrame", err)
+			}
+		})
+	}
+
+	var r Rollup
+	if err := DecodeRollup(make([]byte, rollupSize-1), &r); !errors.Is(err, ErrShort) {
+		t.Errorf("short rollup: err = %v, want ErrShort", err)
+	}
+	if err := DecodeRollup(make([]byte, rollupSize+1), &r); !errors.Is(err, ErrShort) {
+		t.Errorf("long rollup: err = %v, want ErrShort", err)
+	}
+}
+
+// TestRollupGoldenBytes pins the Rollup encoding byte-for-byte, so an
+// accidental layout change (field order, width, endianness) fails
+// loudly instead of silently breaking cross-version decoding.
+func TestRollupGoldenBytes(t *testing.T) {
+	r := Rollup{
+		NodeID:      0x0102030405060708,
+		Shard:       0x0A0B0C0D,
+		BucketStart: 0x1112131415161718,
+		BucketLenNs: 0x2122232425262728,
+		Starts:      0x31,
+		Shed:        0x32,
+		LatSumNs:    0x33,
+	}
+	r.Samples[0] = 0x41
+	r.Hits[1] = 0x42
+	r.Misses[RollupCells-1] = 0x43
+	r.LatCounts[RollupLatBuckets-1] = 0x44
+	r.Top[0] = RollupTop{SessionID: 0x51, Samples: 0x52}
+
+	buf := AppendRollup(nil, &r)
+	if len(buf) != HeaderSize+rollupSize+TrailerSize {
+		t.Fatalf("frame size = %d, want %d", len(buf), HeaderSize+rollupSize+TrailerSize)
+	}
+	wantHdr := []byte{0x50, 0x68, 1, byte(KindRollup), 0x00, 0x00, 0x04, 0xE4}
+	if !bytes.Equal(buf[:HeaderSize], wantHdr) {
+		t.Errorf("header = % x, want % x", buf[:HeaderSize], wantHdr)
+	}
+	p := buf[HeaderSize:]
+	wantFixed := []byte{
+		0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, // NodeID
+		0x0A, 0x0B, 0x0C, 0x0D, // Shard
+		0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, // BucketStart
+		0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x28, // BucketLenNs
+		0, 0, 0, 0, 0, 0, 0, 0x31, // Starts
+		0, 0, 0, 0, 0, 0, 0, 0x32, // Shed
+		0, 0, 0, 0, 0, 0, 0, 0x33, // LatSumNs
+	}
+	if !bytes.Equal(p[:52], wantFixed) {
+		t.Errorf("fixed fields = % x, want % x", p[:52], wantFixed)
+	}
+	if p[52+7] != 0x41 { // Samples[0], big-endian low byte
+		t.Errorf("Samples[0] low byte = %#x, want 0x41", p[52+7])
+	}
+	if p[52+8*RollupCells+8+7] != 0x42 { // Hits[1]
+		t.Errorf("Hits[1] low byte = %#x, want 0x42", p[52+8*RollupCells+8+7])
+	}
+	missesOff := 52 + 2*8*RollupCells + 8*(RollupCells-1)
+	if p[missesOff+7] != 0x43 {
+		t.Errorf("Misses[last] low byte = %#x, want 0x43", p[missesOff+7])
+	}
+	latOff := 52 + 3*8*RollupCells + 8*(RollupLatBuckets-1)
+	if p[latOff+7] != 0x44 {
+		t.Errorf("LatCounts[last] low byte = %#x, want 0x44", p[latOff+7])
+	}
+	topOff := 52 + 3*8*RollupCells + 8*RollupLatBuckets
+	if p[topOff+7] != 0x51 || p[topOff+15] != 0x52 {
+		t.Errorf("Top[0] low bytes = %#x,%#x, want 0x51,0x52", p[topOff+7], p[topOff+15])
+	}
+
+	var got Rollup
+	kind, payload, err := NewDecoder(bytes.NewReader(buf)).Next()
+	if err != nil || kind != KindRollup {
+		t.Fatalf("Next = %v, %v", kind, err)
+	}
+	if err := DecodeRollup(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("golden round trip = %+v, want %+v", got, r)
 	}
 }
 
@@ -221,7 +368,7 @@ func TestHotPathZeroAlloc(t *testing.T) {
 			if err := DecodePrediction(payload, &dp); err != nil {
 				t.Fatal(err)
 			}
-		case KindInvalid, KindHello, KindAck, KindDrain, KindError:
+		case KindInvalid, KindHello, KindAck, KindDrain, KindError, KindRollup:
 			t.Fatalf("unexpected kind %v", kind)
 		default:
 			t.Fatalf("unknown kind %v", kind)
@@ -229,6 +376,58 @@ func TestHotPathZeroAlloc(t *testing.T) {
 	}); n != 0 {
 		t.Errorf("decode allocs/op = %v, want 0", n)
 	}
+}
+
+// TestRollupZeroAlloc proves the rollup flush path — Rollup encode and
+// stream decode — allocates nothing in steady state.
+func TestRollupZeroAlloc(t *testing.T) {
+	r := testRollup()
+	buf := make([]byte, 0, MaxFrameSize)
+	if n := testing.AllocsPerRun(1000, func() {
+		buf = AppendRollup(buf[:0], r)
+	}); n != 0 {
+		t.Errorf("encode allocs/op = %v, want 0", n)
+	}
+
+	dec := NewDecoder(&replayReader{frames: AppendRollup(nil, r)})
+	// Warm the decoder's frame buffer (rollups are larger than the
+	// initial 256-byte capacity).
+	if _, _, err := dec.Next(); err != nil {
+		t.Fatal(err)
+	}
+	var dr Rollup
+	if n := testing.AllocsPerRun(1000, func() {
+		_, payload, err := dec.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeRollup(payload, &dr); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("decode allocs/op = %v, want 0", n)
+	}
+}
+
+// BenchmarkRollupEncode measures one flush-path exchange: encode a
+// Rollup frame and decode it off the stream. This is the per-bucket
+// protocol cost of the fleet rollup pipeline.
+func BenchmarkRollupEncode(b *testing.B) {
+	r := testRollup()
+	dec := NewDecoder(&replayReader{frames: AppendRollup(nil, r)})
+	buf := make([]byte, 0, MaxFrameSize)
+	var dr Rollup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRollup(buf[:0], r)
+		if _, payload, err := dec.Next(); err != nil {
+			b.Fatal(err)
+		} else if err := DecodeRollup(payload, &dr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = buf
 }
 
 // BenchmarkWireRoundTrip measures one full hot-path exchange: encode a

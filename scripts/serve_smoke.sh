@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # serve-smoke: end-to-end exercise of the serving stack. Starts the
-# phased server, drives it with phasefeed (full-speed burst, then a
-# paced run) with the bit-identical determinism check on, then sends
-# SIGTERM and asserts a graceful drain: exit 0, zero protocol errors,
-# and the drain summary line present. `make serve-smoke` runs this and
-# `make check` / CI include it.
+# phased server with its metrics/health endpoint, polls /readyz until
+# the server reports ready (no blind sleeps), drives it with phasefeed
+# (full-speed burst, then a paced run) with the bit-identical
+# determinism check on, asserts the merged /rollup view saw the
+# samples, then sends SIGTERM and asserts a graceful drain: exit 0,
+# zero protocol errors, and the drain summary line present.
+# `make serve-smoke` runs this and `make check` / CI include it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,26 +15,58 @@ mkdir -p "$OUT"
 go build -o "$OUT/phased" ./cmd/phased
 go build -o "$OUT/phasefeed" ./cmd/phasefeed
 
-"$OUT/phased" -addr 127.0.0.1:0 >"$OUT/phased.log" 2>&1 &
+"$OUT/phased" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+  -node-id 1 -rollup-bucket 200ms -rollup-flush 100ms \
+  >"$OUT/phased.log" 2>&1 &
 PHASED_PID=$!
 trap 'kill "$PHASED_PID" 2>/dev/null || true' EXIT
 
+# The log carries both bound addresses; the readiness poll below is
+# what actually gates the drive, so these loops only wait for the
+# lines to appear.
 ADDR=""
+METRICS=""
 for _ in $(seq 1 100); do
   ADDR=$(sed -n 's/^phased: listening on //p' "$OUT/phased.log" | head -n1)
-  [ -n "$ADDR" ] && break
+  METRICS=$(sed -n 's|^phased: metrics on http://\([^/]*\)/.*|\1|p' "$OUT/phased.log" | head -n1)
+  [ -n "$ADDR" ] && [ -n "$METRICS" ] && break
   sleep 0.1
 done
-if [ -z "$ADDR" ]; then
-  echo "serve-smoke: phased never reported a listening address" >&2
+if [ -z "$ADDR" ] || [ -z "$METRICS" ]; then
+  echo "serve-smoke: phased never reported its addresses" >&2
   cat "$OUT/phased.log" >&2
   exit 1
 fi
+
+READY=""
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$METRICS/readyz" >/dev/null 2>&1; then
+    READY=yes
+    break
+  fi
+  sleep 0.1
+done
+if [ -z "$READY" ]; then
+  echo "serve-smoke: /readyz never answered 200" >&2
+  cat "$OUT/phased.log" >&2
+  exit 1
+fi
+curl -fsS "http://$METRICS/healthz" >/dev/null
 
 # Full-speed burst: four nodes, determinism-checked.
 "$OUT/phasefeed" -addr "$ADDR" -nodes 4 -intervals 300 -check | tee "$OUT/phasefeed.log"
 # Paced run: reconnecting clients at a fixed sample rate.
 "$OUT/phasefeed" -addr "$ADDR" -nodes 2 -intervals 120 -rate 400 -check | tee -a "$OUT/phasefeed.log"
+
+# Give the flusher one bucket length + flush period, then require the
+# merged rollup view to have counted samples.
+sleep 0.4
+curl -fsS "http://$METRICS/rollup" >"$OUT/rollup.json"
+if ! grep -q '"samples": [1-9]' "$OUT/rollup.json"; then
+  echo "serve-smoke: /rollup shows no samples after the feed" >&2
+  cat "$OUT/rollup.json" >&2
+  exit 1
+fi
 
 kill -TERM "$PHASED_PID"
 STATUS=0
