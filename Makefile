@@ -15,12 +15,18 @@ build:
 	$(GO) build ./...
 
 # Static analysis: vet, the repo's own analyzer suite (see DESIGN.md
-# §8), and staticcheck when installed.
+# §8 and §13), and staticcheck when installed. The quiet skip is a
+# local-only convenience: in CI (CI=... is set by every major CI
+# system) a missing staticcheck fails the target rather than silently
+# weakening the gate.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/phasemonlint ./...
 ifneq ($(STATICCHECK),)
 	$(STATICCHECK) ./...
+else ifneq ($(CI),)
+	@echo "error: staticcheck $(STATICCHECK_VERSION) is required in CI but is not installed" >&2
+	@exit 1
 else
 	@echo "staticcheck not found; skipping (CI runs $(STATICCHECK_VERSION))"
 endif

@@ -1,22 +1,32 @@
 // Command phasemonlint runs the repo's custom static-analysis suite —
 // the machine-checkable form of the invariants the paper's results
-// rest on. See internal/lint for the analyzers and DESIGN.md §8 for
-// the rationale.
+// rest on. See internal/lint for the analyzers and DESIGN.md §8 and
+// §13 for the rationale.
 //
 // Usage:
 //
-//	phasemonlint [-analyzers list] [-list] [packages...]
+//	phasemonlint [-analyzers list] [-list] [-json] [-o path] [packages...]
 //
 // Packages default to ./... and accept the go tool's pattern syntax.
-// The exit status is 1 if any diagnostic is reported, 2 on failure to
-// load or analyze.
+// -json emits findings as a JSON array of {file, line, col, analyzer,
+// message} objects, sorted by position then analyzer, so CI can
+// archive and diff them; -o redirects the report (text or JSON) to a
+// file, still printing the findings count to stderr.
+//
+// Exit status:
+//
+//	0  no findings
+//	1  at least one finding was reported
+//	2  usage error, or failure to load or analyze packages
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"phasemon/internal/lint"
@@ -26,12 +36,23 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// finding is one diagnostic in the machine-readable report.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("phasemonlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		only    = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 		list    = fs.Bool("list", false, "list available analyzers and exit")
+		jsonOut = fs.Bool("json", false, "report findings as a JSON array instead of text")
+		outPath = fs.String("o", "", "write the report to this file instead of stdout")
 		verbose = fs.Bool("v", false, "report per-package progress")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := 0
+	var findings []finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.PkgPath) {
@@ -78,16 +99,76 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			for _, d := range diags {
-				fmt.Fprintf(stdout, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
-				findings++
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
 			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "phasemonlint: %d finding(s)\n", findings)
+	// A total order over findings keeps reports byte-stable across runs
+	// and package-load order, so CI artifacts diff cleanly.
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "phasemonlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := report(out, findings, *jsonOut); err != nil {
+		fmt.Fprintf(stderr, "phasemonlint: %v\n", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "phasemonlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// report renders the findings as text ("file:line:col: analyzer:
+// message" lines) or as a JSON array. The empty report is "" in text
+// mode and "[]" in JSON mode, so a clean run still produces a valid
+// document for tooling.
+func report(w io.Writer, findings []finding, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		return enc.Encode(findings)
+	}
+	for _, f := range findings {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func selectAnalyzers(all []*lint.Analyzer, spec string) []*lint.Analyzer {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -10,7 +13,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
 	}
-	for _, name := range []string{"determinism", "nilhub", "floateq", "exhaustive"} {
+	for _, name := range []string{"determinism", "nilhub", "floateq", "exhaustive", "guarded", "hotalloc", "deadline"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
 		}
@@ -27,6 +30,44 @@ func TestRunRepoClean(t *testing.T) {
 	}
 	if stdout.Len() != 0 {
 		t.Errorf("expected no diagnostics, got:\n%s", stdout.String())
+	}
+}
+
+func TestJSONCleanRun(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-json", "phasemon/internal/wire"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-json) = %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	var findings []finding
+	if err := json.Unmarshal([]byte(stdout.String()), &findings); err != nil {
+		t.Fatalf("output is not a JSON findings array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("expected zero findings, got %+v", findings)
+	}
+	// A clean run must still emit a valid document, not an empty file.
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want \"[]\"", strings.TrimSpace(stdout.String()))
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.json")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-json", "-o", path, "phasemon/internal/wire"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-json -o) = %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-o should leave stdout empty, got:\n%s", stdout.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var findings []finding
+	if err := json.Unmarshal(b, &findings); err != nil {
+		t.Fatalf("report file is not a JSON findings array: %v\n%s", err, b)
 	}
 }
 

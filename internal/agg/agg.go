@@ -130,9 +130,9 @@ func (b *bucket) reset(startNs int64) {
 // shard is one independently locked accumulation lane.
 type shard struct {
 	mu      sync.Mutex
-	buckets []bucket
-	open    int   // used buckets, for the open-buckets gauge
-	order   []int // flush scratch: bucket indices sorted by start
+	buckets []bucket // guarded by mu
+	open    int      // guarded by mu; used buckets, for the open-buckets gauge
+	order   []int    // guarded by mu; flush scratch: bucket indices sorted by start
 }
 
 // Aggregator accumulates per-sample outcomes into time-bucketed,
@@ -148,7 +148,7 @@ type Aggregator struct {
 	shards      []shard
 
 	flushMu sync.Mutex
-	scratch wire.Rollup
+	scratch wire.Rollup // guarded by flushMu
 
 	ingested       *telemetry.Counter
 	rollups        *telemetry.Counter
@@ -249,6 +249,8 @@ func (a *Aggregator) Ingest(shard int, sessionID uint64, class phase.Class, sett
 // counted as dropped. The path performs no allocation in steady state
 // (the per-bucket session table grows only on first sight of a
 // session id).
+//
+//lint:hotpath
 func (a *Aggregator) IngestAt(shardIdx int, nowNs int64, sessionID uint64, class phase.Class, setting dvfs.Setting, outcome Outcome, latNs int64) {
 	a.ingested.Inc()
 	startNs := nowNs - floorMod(nowNs, a.bucketLenNs)

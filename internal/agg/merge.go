@@ -41,17 +41,17 @@ type laneKey struct {
 type Merger struct {
 	mu      sync.Mutex
 	retain  int
-	rollups uint64
+	rollups uint64 // guarded by mu
 
-	starts, shed, latSum uint64
-	samples              [wire.RollupCells]uint64
-	hits                 [wire.RollupCells]uint64
-	misses               [wire.RollupCells]uint64
-	lat                  [wire.RollupLatBuckets]uint64
+	starts, shed, latSum uint64                        // guarded by mu
+	samples              [wire.RollupCells]uint64      // guarded by mu
+	hits                 [wire.RollupCells]uint64      // guarded by mu
+	misses               [wire.RollupCells]uint64      // guarded by mu
+	lat                  [wire.RollupLatBuckets]uint64 // guarded by mu
 
-	buckets map[int64]*mergeBucket
-	lanes   map[laneKey]struct{}
-	nodes   map[uint64]struct{}
+	buckets map[int64]*mergeBucket // guarded by mu
+	lanes   map[laneKey]struct{}   // guarded by mu
+	nodes   map[uint64]struct{}    // guarded by mu
 }
 
 // NewMerger builds a Merger retaining per-bucket detail for at most

@@ -148,6 +148,8 @@ func (g *GPHT) SetTelemetry(h *telemetry.Hub) { g.tel = h }
 // Observe implements Predictor: it trains the previously consulted PHT
 // entry with the observed outcome, shifts the GPHR, and looks up the
 // new pattern.
+//
+//lint:hotpath
 func (g *GPHT) Observe(o Observation) phase.ID {
 	actual := o.Phase
 	if !actual.Valid(g.cfg.NumPhases) {

@@ -85,6 +85,8 @@ func (m *Monitor) Predictor() Predictor { return m.pred }
 // sample, scores the pending prediction against it, and produces the
 // next prediction. The first interval is not scored (there was nothing
 // to predict it from).
+//
+//lint:hotpath
 func (m *Monitor) Step(s phase.Sample) (actual, next phase.ID) {
 	actual = m.cls.Classify(s)
 	scored := m.steps > 0

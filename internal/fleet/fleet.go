@@ -79,8 +79,8 @@ type Engine struct {
 	traces *wcache.Cache
 
 	mu       sync.Mutex
-	cache    map[string]*governor.Result
-	inflight map[string]*flight
+	cache    map[string]*governor.Result // guarded by mu
+	inflight map[string]*flight          // guarded by mu
 
 	// pending counts accepted-but-unfinished specs for the queue-depth
 	// gauge.

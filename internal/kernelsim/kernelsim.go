@@ -198,6 +198,8 @@ func (mod *Module) Unload(m *machine.Machine) {
 func (mod *Module) Loaded() bool { return mod.loaded }
 
 // HandlePMI implements machine.Handler with the exact Figure 8 flow.
+//
+//lint:hotpath
 func (mod *Module) HandlePMI(m *machine.Machine) float64 {
 	if !mod.loaded {
 		return 0

@@ -46,5 +46,8 @@ func All() []*Analyzer {
 		NilHubAnalyzer,
 		FloatEqAnalyzer,
 		ExhaustiveAnalyzer,
+		GuardedAnalyzer,
+		HotAllocAnalyzer,
+		DeadlineAnalyzer,
 	}
 }

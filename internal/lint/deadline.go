@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeadlineAnalyzer requires every Read/Write on a connection-like
+// value (anything with SetReadDeadline and SetWriteDeadline methods,
+// i.e. net.Conn and friends) in the serving packages to be dominated
+// by the matching Set*Deadline call: either textually earlier in the
+// same function, or before every same-package call site of the
+// enclosing function (transitively). An undeadlined Read hangs a
+// worker forever on a stalled peer; an undeadlined Write hangs it on a
+// full kernel send buffer — the failure modes the phased protocol's
+// per-frame deadlines exist to rule out.
+var DeadlineAnalyzer = &Analyzer{
+	Name: "deadline",
+	Doc: "net.Conn Read/Write must be preceded by SetReadDeadline/" +
+		"SetWriteDeadline on the same conn in the same function or its callers",
+	Run:   runDeadline,
+	Match: matchPaths([]string{"internal/phased", "internal/phaseclient"}),
+}
+
+// connOpKind distinguishes deadline events from the I/O calls they
+// must dominate.
+type connOpKind uint8
+
+const (
+	connOpRead connOpKind = iota
+	connOpWrite
+	connOpSetRead
+	connOpSetWrite
+	connOpSetBoth
+)
+
+// connOp is one conn-related call in source order.
+type connOp struct {
+	kind connOpKind
+	base string // rendered path of the conn expression; may be ""
+	pos  token.Pos
+	name string // method name, for diagnostics
+}
+
+// callSite is one same-package call of a function.
+type callSite struct {
+	caller *types.Func
+	pos    token.Pos
+}
+
+func runDeadline(pass *Pass) error {
+	ops := make(map[*types.Func][]connOp)
+	callers := make(map[*types.Func][]callSite)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if op, ok := connOpOf(pass, call); ok {
+					ops[fn] = append(ops[fn], op)
+					return true
+				}
+				if callee := staticCallee(pass, call); callee != nil && callee.Pkg() == pass.Pkg {
+					callers[callee] = append(callers[callee], callSite{caller: fn, pos: call.Pos()})
+				}
+				return true
+			})
+		}
+	}
+
+	for fn, list := range ops {
+		for _, op := range list {
+			if op.kind != connOpRead && op.kind != connOpWrite {
+				continue
+			}
+			want := connOpSetRead
+			wantName := "SetReadDeadline"
+			if op.kind == connOpWrite {
+				want = connOpSetWrite
+				wantName = "SetWriteDeadline"
+			}
+			if dominatedLocally(list, op, want) {
+				continue
+			}
+			if dominatedByCallers(ops, callers, fn, op.pos, want, map[*types.Func]bool{fn: true}) {
+				continue
+			}
+			if pass.Suppressed("deadline", op.pos) {
+				continue
+			}
+			pass.Reportf(op.pos,
+				"conn %s without a preceding %s on %s in this function or its callers",
+				op.name, wantName, describeBase(op.base))
+		}
+	}
+	return nil
+}
+
+func describeBase(base string) string {
+	if base == "" {
+		return "the same conn"
+	}
+	return base
+}
+
+// dominatedLocally reports whether an earlier event in the same
+// function arms the wanted deadline on the same conn path.
+func dominatedLocally(list []connOp, op connOp, want connOpKind) bool {
+	for _, prev := range list {
+		if prev.pos >= op.pos {
+			continue
+		}
+		if prev.kind != want && prev.kind != connOpSetBoth {
+			continue
+		}
+		// Unrenderable paths conservatively match any armed deadline.
+		if prev.base == op.base || prev.base == "" || op.base == "" {
+			return true
+		}
+	}
+	return false
+}
+
+// dominatedByCallers reports whether every same-package call site of
+// fn is itself dominated by the wanted deadline (directly or via its
+// own callers). Functions with no visible call sites — exported API,
+// goroutine bodies, interface methods — are not dominated: they must
+// arm the deadline locally.
+func dominatedByCallers(ops map[*types.Func][]connOp, callers map[*types.Func][]callSite,
+	fn *types.Func, _ token.Pos, want connOpKind, seen map[*types.Func]bool) bool {
+	sites := callers[fn]
+	if len(sites) == 0 {
+		return false
+	}
+	for _, site := range sites {
+		ok := false
+		for _, prev := range ops[site.caller] {
+			if prev.pos < site.pos && (prev.kind == want || prev.kind == connOpSetBoth) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			if seen[site.caller] {
+				return false
+			}
+			seen[site.caller] = true
+			if !dominatedByCallers(ops, callers, site.caller, site.pos, want, seen) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// connOpOf classifies a call as a conn deadline or I/O operation. The
+// receiver is duck-typed: any type carrying both SetReadDeadline and
+// SetWriteDeadline methods counts as a conn, so wrappers and test
+// fakes are covered without importing net.
+func connOpOf(pass *Pass, call *ast.CallExpr) (connOp, bool) {
+	sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return connOp{}, false
+	}
+	var kind connOpKind
+	switch sel.Sel.Name {
+	case "Read":
+		kind = connOpRead
+	case "Write":
+		kind = connOpWrite
+	case "SetReadDeadline":
+		kind = connOpSetRead
+	case "SetWriteDeadline":
+		kind = connOpSetWrite
+	case "SetDeadline":
+		kind = connOpSetBoth
+	default:
+		return connOp{}, false
+	}
+	if (kind == connOpRead || kind == connOpWrite) && len(call.Args) != 1 {
+		return connOp{}, false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil || !isConnLike(tv.Type, pass.Pkg) {
+		return connOp{}, false
+	}
+	return connOp{kind: kind, base: renderPath(sel.X), pos: call.Pos(), name: sel.Sel.Name}, true
+}
+
+// isConnLike reports whether t has both SetReadDeadline and
+// SetWriteDeadline methods.
+func isConnLike(t types.Type, pkg *types.Package) bool {
+	for _, name := range []string{"SetReadDeadline", "SetWriteDeadline"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, pkg, name)
+		if _, ok := obj.(*types.Func); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// staticCallee resolves a call to a function or method declared in
+// some package, or nil for builtins, conversions, and function-typed
+// values.
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := stripParens(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDirectiveNames drives the //lint: directive parser with
+// arbitrary comment text and checks its structural guarantees: only
+// //lint:-prefixed comments yield names, no yielded name is empty or
+// contains whitespace or a comma, and every name appears verbatim in
+// the directive head. The escape-hatch machinery (Pass.Suppressed)
+// and the hotpath root discovery both consume this parser, so a
+// malformed comment must degrade to "no directive", never to a bogus
+// analyzer name.
+func FuzzDirectiveNames(f *testing.F) {
+	f.Add("//lint:determinism reason")
+	f.Add("//lint:guarded,hotalloc copy-out is safe here")
+	f.Add("//lint:guarded,hotalloc,deadline")
+	f.Add("//lint:")
+	f.Add("//lint:,")
+	f.Add("//lint:, ,,")
+	f.Add("//lint:floateq\r\ntrailing CRLF")
+	f.Add("//lint:a\tb")
+	f.Add("// lint:nilhub not a directive")
+	f.Add("//nolint:everything")
+	f.Add("/*lint:exhaustive*/")
+	f.Add("//lint:exhaustive,exhaustive")
+	f.Add("//lint:名前,πass")
+	f.Fuzz(func(t *testing.T, text string) {
+		names := directiveNames(text)
+		if !strings.HasPrefix(text, "//lint:") {
+			if names != nil {
+				t.Fatalf("directiveNames(%q) = %v for a non-directive comment", text, names)
+			}
+			return
+		}
+		// Recompute the directive head by the documented grammar: it
+		// ends at the first space, tab, CR, or NL.
+		head := strings.TrimPrefix(text, "//lint:")
+		if i := strings.IndexAny(head, " \t\r\n"); i >= 0 {
+			head = head[:i]
+		}
+		for _, n := range names {
+			if n == "" {
+				t.Fatalf("directiveNames(%q) yielded an empty name: %v", text, names)
+			}
+			if strings.ContainsAny(n, " \t\r\n,") {
+				t.Fatalf("directiveNames(%q) yielded name %q containing whitespace or a comma", text, n)
+			}
+			if !strings.Contains(head, n) {
+				t.Fatalf("directiveNames(%q) yielded %q, absent from directive head %q", text, n, head)
+			}
+		}
+	})
+}

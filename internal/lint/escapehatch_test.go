@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestNoEscapeHatchesInHotPackages pins the concurrency and hot-path
+// analyzers to zero suppressions in the packages whose invariants they
+// exist to protect: the aggregation pipeline, the wire codec, and the
+// serving loop must *satisfy* guarded/hotalloc/deadline, not opt out
+// of them. A suppression anywhere else is reviewable case by case; in
+// these packages it is a regression by definition. Note //lint:hotpath
+// is an annotation (it marks a root for hotalloc to check), not an
+// escape hatch, so it is deliberately absent from the banned set.
+func TestNoEscapeHatchesInHotPackages(t *testing.T) {
+	banned := map[string]bool{
+		GuardedAnalyzer.Name:  true,
+		HotAllocAnalyzer.Name: true,
+		DeadlineAnalyzer.Name: true,
+	}
+	pkgs, err := Load("../..", "./internal/agg", "./internal/wire", "./internal/phased")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("Load returned %d packages, want 3", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, name := range directiveNames(c.Text) {
+						if banned[name] {
+							t.Errorf("%s: escape hatch //lint:%s is not allowed in %s",
+								pkg.Fset.Position(c.Pos()), name, pkg.PkgPath)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -29,6 +29,7 @@ var enforcedEnums = []enumType{
 	{"wire", "FrameKind"},
 	{"phased", "SessionState"},
 	{"agg", "Outcome"},
+	{"lint", "LockMode"},
 }
 
 // ExhaustiveAnalyzer requires every switch over an enforced enum type
@@ -39,8 +40,8 @@ var enforcedEnums = []enumType{
 var ExhaustiveAnalyzer = &Analyzer{
 	Name: "exhaustive",
 	Doc: "switches over phase.Class, dvfs.Setting, telemetry.EventKind, " +
-		"fleet.Status, wire.FrameKind, phased.SessionState and " +
-		"agg.Outcome must cover all constants or reject unknowns in a default",
+		"fleet.Status, wire.FrameKind, phased.SessionState, agg.Outcome and " +
+		"lint.LockMode must cover all constants or reject unknowns in a default",
 	Run: runExhaustive,
 }
 

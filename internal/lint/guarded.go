@@ -1,0 +1,667 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockMode classifies how strongly a mutex is held at a guarded-field
+// access: RLock grants LockModeRead (enough to read a guarded field),
+// Lock grants LockModeWrite (required to write one).
+type LockMode uint8
+
+const (
+	// LockModeRead is the shared mode granted by RWMutex.RLock.
+	LockModeRead LockMode = iota
+	// LockModeWrite is the exclusive mode granted by Mutex.Lock and
+	// RWMutex.Lock.
+	LockModeWrite
+)
+
+// String renders the mode for diagnostics.
+func (m LockMode) String() string {
+	switch m {
+	case LockModeRead:
+		return "read"
+	case LockModeWrite:
+		return "write"
+	}
+	return "invalid"
+}
+
+// guardedRe extracts the mutex reference from a "guarded by <ref>"
+// field comment. The reference is either a sibling mutex field name
+// ("mu") or a qualified <TypeName>.<field> naming a mutex owned by
+// another struct ("worker.mu").
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guardSpec is one parsed guard annotation. (Its own field comments
+// must not contain the annotation phrase, or the analyzer would read
+// them as annotations on itself.)
+type guardSpec struct {
+	// owner is the type name owning the guarding mutex for qualified
+	// annotations of the <Type>.<mu> form; empty for sibling
+	// annotations naming a bare mutex field, which bind to the mutex
+	// on the same receiver value as the access.
+	owner string
+	// field is the mutex field (or variable) name.
+	field string
+}
+
+func (g guardSpec) String() string {
+	if g.owner == "" {
+		return g.field
+	}
+	return g.owner + "." + g.field
+}
+
+// GuardedAnalyzer enforces "guarded by" field annotations: a struct
+// field documented as `// guarded by mu` may only be read or written
+// while that mutex — on the same receiver value — is held (Lock or a
+// paired defer Unlock; RLock suffices for reads), and a field
+// documented as `// guarded by Type.mu` requires any held lock whose
+// owner type and field match. Values must be copied out before the
+// unlock; the analyzer tracks lock state linearly through each
+// function, treats functions whose name ends in "Locked" as entered
+// with their receiver's mutexes held, and exempts accesses through
+// freshly allocated locals that no other goroutine can see yet.
+var GuardedAnalyzer = &Analyzer{
+	Name: "guarded",
+	Doc: "fields annotated `// guarded by <mu>` may only be accessed " +
+		"with that mutex held (RLock acceptable for reads); copy values " +
+		"out before unlocking",
+	Run: runGuarded,
+}
+
+func runGuarded(pass *Pass) error {
+	specs := collectGuardSpecs(pass)
+	if len(specs) == 0 {
+		return nil
+	}
+	c := &guardedChecker{pass: pass, specs: specs}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd.Name.Name, fd.Recv, fd.Type, fd.Body)
+		}
+	}
+	return nil
+}
+
+// collectGuardSpecs parses every "guarded by" field annotation in the
+// package, validating sibling references against the enclosing
+// struct's mutex fields.
+func collectGuardSpecs(pass *Pass) map[*types.Var]guardSpec {
+	specs := make(map[*types.Var]guardSpec)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec, pos, ok := parseGuardComment(field)
+				if !ok {
+					continue
+				}
+				if spec.field == "" {
+					pass.Reportf(pos, "malformed guarded-by annotation: want "+
+						"`guarded by <mutexField>` or `guarded by <Type>.<mutexField>`")
+					continue
+				}
+				if spec.owner == "" && !structHasMutex(pass, st, spec.field) {
+					pass.Reportf(pos, "guarded-by annotation names %q, but the "+
+						"struct has no sync.Mutex or sync.RWMutex field with that name",
+						spec.field)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						specs[v] = spec
+					}
+				}
+			}
+			return true
+		})
+	}
+	return specs
+}
+
+// parseGuardComment scans a struct field's doc and trailing comments
+// for a "guarded by" annotation. ok reports whether one was present
+// (even if malformed, so the caller can diagnose it).
+func parseGuardComment(field *ast.Field) (guardSpec, token.Pos, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, "guarded by") {
+				continue
+			}
+			m := guardedRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				return guardSpec{}, c.Pos(), true
+			}
+			parts := strings.Split(m[1], ".")
+			switch len(parts) {
+			case 1:
+				return guardSpec{field: parts[0]}, c.Pos(), true
+			case 2:
+				if parts[0] == "" || parts[1] == "" {
+					return guardSpec{}, c.Pos(), true
+				}
+				return guardSpec{owner: parts[0], field: parts[1]}, c.Pos(), true
+			default:
+				return guardSpec{}, c.Pos(), true
+			}
+		}
+	}
+	return guardSpec{}, token.NoPos, false
+}
+
+// structHasMutex reports whether the struct literally declares a
+// mutex-typed field with the given name.
+func structHasMutex(pass *Pass, st *ast.StructType, name string) bool {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name != name {
+				continue
+			}
+			if tv, ok := pass.TypesInfo.Types[f.Type]; ok && isMutexType(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex
+// (possibly behind one pointer).
+func isMutexType(t types.Type) bool {
+	pkg, name, ok := namedFrom(t)
+	return ok && pkg == "sync" && (name == "Mutex" || name == "RWMutex")
+}
+
+// heldLock records one mutex the checker believes is held at the
+// current program point.
+type heldLock struct {
+	mode  LockMode
+	owner string // type name owning the mutex field; "" when unknown
+	field string // mutex field or variable name
+}
+
+type guardedChecker struct {
+	pass  *Pass
+	specs map[*types.Var]guardSpec
+	// fresh marks locals assigned from a fresh allocation (&T{...},
+	// T{...}, new, make) in the current function: no other goroutine
+	// can reach them yet, so their guarded fields are exempt until the
+	// value is published. Reassigning the local from anything else
+	// clears the mark.
+	fresh map[types.Object]bool
+}
+
+// checkFunc analyzes one function body. Functions whose name ends in
+// "Locked" are entered with every mutex field of their receiver and
+// named-struct parameters assumed write-held — the repo's convention
+// for caller-holds-the-lock helpers.
+func (c *guardedChecker) checkFunc(name string, recv *ast.FieldList, typ *ast.FuncType, body *ast.BlockStmt) {
+	held := make(map[string]heldLock)
+	if strings.HasSuffix(name, "Locked") {
+		for _, fl := range []*ast.FieldList{recv, typ.Params} {
+			if fl == nil {
+				continue
+			}
+			for _, f := range fl.List {
+				for _, n := range f.Names {
+					c.seedHeldMutexes(held, n)
+				}
+			}
+		}
+	}
+	c.fresh = make(map[types.Object]bool)
+	c.stmts(body.List, held)
+}
+
+// seedHeldMutexes marks every mutex field of n's (struct) type as
+// write-held under the path "<n>.<field>".
+func (c *guardedChecker) seedHeldMutexes(held map[string]heldLock, n *ast.Ident) {
+	obj := c.pass.TypesInfo.Defs[n]
+	if obj == nil {
+		return
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, typeName, ok := namedFrom(t)
+	if !ok {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isMutexType(f.Type()) {
+			held[n.Name+"."+f.Name()] = heldLock{
+				mode: LockModeWrite, owner: typeName, field: f.Name(),
+			}
+		}
+	}
+}
+
+func cloneHeld(held map[string]heldLock) map[string]heldLock {
+	out := make(map[string]heldLock, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// stmts processes a statement list linearly, mutating held in place as
+// locks are acquired and released.
+func (c *guardedChecker) stmts(list []ast.Stmt, held map[string]heldLock) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+func (c *guardedChecker) stmt(s ast.Stmt, held map[string]heldLock) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if ev, ok := c.lockEvent(call); ok {
+				if ev.lock {
+					if ev.key != "" {
+						held[ev.key] = heldLock{mode: ev.mode, owner: ev.owner, field: ev.field}
+					}
+				} else {
+					delete(held, ev.key)
+				}
+				return
+			}
+		}
+		c.checkRead(s.X, held)
+	case *ast.DeferStmt:
+		if _, ok := c.lockEvent(s.Call); ok {
+			// defer mu.Unlock() pairs with an earlier Lock: the mutex
+			// stays held to the end of the function.
+			return
+		}
+		c.checkRead(s.Call, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.checkRead(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.checkWrite(e, held)
+		}
+		c.trackFresh(s)
+	case *ast.IncDecStmt:
+		c.checkWrite(s.X, held)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				c.checkRead(v, held)
+			}
+			if len(vs.Names) == len(vs.Values) {
+				for i, n := range vs.Names {
+					if obj := c.pass.TypesInfo.Defs[n]; obj != nil {
+						c.fresh[obj] = isFreshExpr(vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkRead(e, held)
+		}
+	case *ast.SendStmt:
+		c.checkRead(s.Chan, held)
+		c.checkRead(s.Value, held)
+	case *ast.GoStmt:
+		c.checkRead(s.Call, held)
+	case *ast.IfStmt:
+		c.stmt(s.Init, held)
+		c.checkRead(s.Cond, held)
+		c.stmts(s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			c.stmt(s.Else, cloneHeld(held))
+		}
+	case *ast.ForStmt:
+		c.stmt(s.Init, held)
+		if s.Cond != nil {
+			c.checkRead(s.Cond, held)
+		}
+		body := cloneHeld(held)
+		c.stmts(s.Body.List, body)
+		c.stmt(s.Post, body)
+	case *ast.RangeStmt:
+		c.checkRead(s.X, held)
+		if s.Tok == token.ASSIGN {
+			if s.Key != nil {
+				c.checkWrite(s.Key, held)
+			}
+			if s.Value != nil {
+				c.checkWrite(s.Value, held)
+			}
+		}
+		c.stmts(s.Body.List, cloneHeld(held))
+	case *ast.SwitchStmt:
+		c.stmt(s.Init, held)
+		if s.Tag != nil {
+			c.checkRead(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			clause := cl.(*ast.CaseClause)
+			inner := cloneHeld(held)
+			for _, e := range clause.List {
+				c.checkRead(e, inner)
+			}
+			c.stmts(clause.Body, inner)
+		}
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init, held)
+		c.stmt(s.Assign, held)
+		for _, cl := range s.Body.List {
+			clause := cl.(*ast.CaseClause)
+			c.stmts(clause.Body, cloneHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			clause := cl.(*ast.CommClause)
+			inner := cloneHeld(held)
+			c.stmt(clause.Comm, inner)
+			c.stmts(clause.Body, inner)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, cloneHeld(held))
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	}
+}
+
+// trackFresh updates the fresh-local set after an assignment: a plain
+// identifier assigned a fresh allocation becomes exempt, and one
+// assigned anything else (an alias another goroutine may share) loses
+// the exemption.
+func (c *guardedChecker) trackFresh(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+					c.fresh[obj] = false
+				}
+			}
+		}
+		return
+	}
+	for i, l := range s.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := c.pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		c.fresh[obj] = isFreshExpr(s.Rhs[i])
+	}
+}
+
+// isFreshExpr reports whether e evaluates to storage no other
+// goroutine can reach yet.
+func isFreshExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			return id.Name == "new" || id.Name == "make"
+		}
+	case *ast.ParenExpr:
+		return isFreshExpr(e.X)
+	}
+	return false
+}
+
+// lockEvent describes one Lock/RLock/Unlock/RUnlock call.
+type lockEvent struct {
+	key   string // rendered path of the mutex expression; may be ""
+	owner string
+	field string
+	mode  LockMode
+	lock  bool // acquire vs release
+}
+
+func (c *guardedChecker) lockEvent(call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var mode LockMode
+	var lock bool
+	switch sel.Sel.Name {
+	case "Lock":
+		mode, lock = LockModeWrite, true
+	case "RLock":
+		mode, lock = LockModeRead, true
+	case "Unlock", "RUnlock":
+		lock = false
+	default:
+		return lockEvent{}, false
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok || !isMutexType(tv.Type) {
+		return lockEvent{}, false
+	}
+	ev := lockEvent{key: renderPath(sel.X), mode: mode, lock: lock}
+	switch x := stripParens(sel.X).(type) {
+	case *ast.SelectorExpr:
+		ev.field = x.Sel.Name
+		if btv, ok := c.pass.TypesInfo.Types[x.X]; ok {
+			if _, name, ok := namedFrom(btv.Type); ok {
+				ev.owner = name
+			}
+		}
+	case *ast.Ident:
+		ev.field = x.Name
+	}
+	return ev, true
+}
+
+// checkWrite classifies the top-level selector chain of an assignment
+// target as a write; nested index and pointer subexpressions are only
+// reads.
+func (c *guardedChecker) checkWrite(e ast.Expr, held map[string]heldLock) {
+	switch e := e.(type) {
+	case *ast.Ident:
+	case *ast.SelectorExpr:
+		c.fieldAccess(e, LockModeWrite, held)
+		c.checkRead(e.X, held)
+	case *ast.IndexExpr:
+		c.checkWrite(e.X, held)
+		c.checkRead(e.Index, held)
+	case *ast.StarExpr:
+		c.checkRead(e.X, held)
+	case *ast.ParenExpr:
+		c.checkWrite(e.X, held)
+	default:
+		c.checkRead(e, held)
+	}
+}
+
+// checkRead walks an expression tree classifying every guarded-field
+// selector as a read. Function literals are analyzed as their own
+// functions with no locks held: a closure runs at an unknown time, so
+// it cannot inherit its creator's lock state. The builtin delete
+// mutates its map argument, so that argument is classified as a write.
+func (c *guardedChecker) checkRead(e ast.Expr, held map[string]heldLock) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.stmts(n.Body.List, make(map[string]heldLock))
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					c.checkWrite(n.Args[0], held)
+					c.checkRead(n.Args[1], held)
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			c.fieldAccess(n, LockModeRead, held)
+		}
+		return true
+	})
+}
+
+// fieldAccess checks one guarded-field selector against the held-lock
+// state.
+func (c *guardedChecker) fieldAccess(sel *ast.SelectorExpr, mode LockMode, held map[string]heldLock) {
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	spec, ok := c.specs[v]
+	if !ok {
+		return
+	}
+	if id := rootIdent(sel.X); id != nil {
+		if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil && c.fresh[obj] {
+			return
+		}
+	}
+	want := spec.String()
+	if spec.owner != "" {
+		for _, hl := range held {
+			if hl.owner == spec.owner && hl.field == spec.field && lockModeCovers(hl.mode, mode) {
+				return
+			}
+		}
+	} else {
+		base := renderPath(sel.X)
+		if base != "" {
+			want = base + "." + spec.field
+			if hl, ok := held[want]; ok {
+				if lockModeCovers(hl.mode, mode) {
+					return
+				}
+				if !c.pass.Suppressed("guarded", sel.Pos()) {
+					c.pass.Reportf(sel.Pos(),
+						"%s of guarded field %s.%s requires %s held for writing, but only RLock is held",
+						mode, base, sel.Sel.Name, want)
+				}
+				return
+			}
+		}
+	}
+	if !c.pass.Suppressed("guarded", sel.Pos()) {
+		c.pass.Reportf(sel.Pos(),
+			"%s of guarded field %s without holding %s",
+			mode, renderAccess(sel), want)
+	}
+}
+
+// lockModeCovers reports whether a lock held in mode have satisfies an
+// access needing mode need.
+func lockModeCovers(have, need LockMode) bool {
+	return need == LockModeRead || have == LockModeWrite
+}
+
+// renderAccess renders a selector for diagnostics, falling back to the
+// field name when the base is not a simple path.
+func renderAccess(sel *ast.SelectorExpr) string {
+	if p := renderPath(sel); p != "" {
+		return p
+	}
+	return sel.Sel.Name
+}
+
+// renderPath renders a simple access path ("s.c.mu", "sh.buckets[i]")
+// or "" for expressions that are not stable paths.
+func renderPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := renderPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return renderPath(e.X)
+	case *ast.StarExpr:
+		return renderPath(e.X)
+	case *ast.IndexExpr:
+		base := renderPath(e.X)
+		idx := renderPath(e.Index)
+		if base == "" || idx == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return ""
+}
+
+// rootIdent returns the leftmost identifier of an access path, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"phasemon/internal/lint"
+	"phasemon/internal/lint/linttest"
+)
+
+func TestGuarded(t *testing.T) {
+	linttest.Run(t, "testdata", lint.GuardedAnalyzer,
+		"guarded", "guarded_clean")
+}

@@ -1,0 +1,565 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAllocAnalyzer proves the `//lint:hotpath` annotation: an
+// annotated function, and every same-package function it (transitively)
+// calls from hot code, must be free of heap-allocating constructs.
+// Flagged: make, new, non-self append (anything but `x = append(x,
+// ...)` or the dst-threading `return append(dst, ...)` of a slice
+// parameter), slice and map literals, &composite literals, closures and
+// method values, string concatenation, string<->[]byte conversions,
+// conversions to interface types, map iteration that copies values, go
+// statements, and calls into allocating stdlib helpers (fmt, errors.New,
+// strings/strconv/sort/bytes formatters).
+//
+// Three block shapes are cold and exempt, matching the repo's
+// amortized-growth and error-bail idioms: an if whose condition reads
+// len() or cap() (growth paths proven amortized-zero by AllocsPerRun),
+// an if whose condition compares an error against nil, and a block
+// ending in a return whose final result is a non-nil error. Calls made
+// only from cold blocks are not pulled into the hot set.
+//
+// Interface-method and cross-package calls are trusted: a hot callee in
+// another package must carry its own //lint:hotpath annotation (checked
+// when that package is analyzed) and AllocsPerRun witness.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions annotated //lint:hotpath (and their same-package " +
+		"callees) must be statically allocation-free outside cold " +
+		"error/growth blocks",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	hc := &hotChecker{
+		pass:          pass,
+		decls:         make(map[*types.Func]*ast.FuncDecl),
+		visited:       make(map[*types.Func]bool),
+		allowedAppend: make(map[*ast.CallExpr]bool),
+	}
+	var roots []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				hc.decls[fn] = fd
+			}
+			if hasDirective(fd.Doc, "hotpath") {
+				roots = append(roots, fd)
+			}
+		}
+	}
+	for _, fd := range roots {
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			hc.visit(fn)
+		}
+	}
+	return nil
+}
+
+// hasDirective reports whether a comment group carries a
+// //lint:<name> directive line.
+func hasDirective(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		for _, n := range directiveNames(c.Text) {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hotDenylist names cross-package calls that always allocate. Any
+// function in package fmt is denied wholesale.
+var hotDenylist = map[string]bool{
+	"errors.New":          true,
+	"strings.Join":        true,
+	"strings.Repeat":      true,
+	"strings.Replace":     true,
+	"strings.ReplaceAll":  true,
+	"strings.Split":       true,
+	"strings.Fields":      true,
+	"strings.ToUpper":     true,
+	"strings.ToLower":     true,
+	"strconv.Itoa":        true,
+	"strconv.Quote":       true,
+	"strconv.FormatInt":   true,
+	"strconv.FormatUint":  true,
+	"strconv.FormatFloat": true,
+	"strconv.FormatBool":  true,
+	"sort.Slice":          true,
+	"sort.SliceStable":    true,
+	"sort.Strings":        true,
+	"bytes.Clone":         true,
+	"bytes.Join":          true,
+	"bytes.Repeat":        true,
+}
+
+type hotChecker struct {
+	pass    *Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	visited map[*types.Func]bool
+	// allowedAppend marks append calls proven to be self-appends
+	// (x = append(x, ...)) or dst-threading returns.
+	allowedAppend map[*ast.CallExpr]bool
+	// fnName is the function currently being walked, for diagnostics.
+	fnName string
+	// params holds the receiver and parameter objects of the function
+	// currently being walked, for the dst-threading append allowance.
+	params map[types.Object]bool
+}
+
+func (hc *hotChecker) visit(fn *types.Func) {
+	if fn == nil || hc.visited[fn] {
+		return
+	}
+	hc.visited[fn] = true
+	fd, ok := hc.decls[fn]
+	if !ok {
+		return
+	}
+	prevName, prevParams := hc.fnName, hc.params
+	hc.fnName = fn.Name()
+	hc.params = make(map[types.Object]bool)
+	for _, fl := range []*ast.FieldList{fd.Recv, fd.Type.Params} {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if obj := hc.pass.TypesInfo.Defs[n]; obj != nil {
+					hc.params[obj] = true
+				}
+			}
+		}
+	}
+	hc.stmts(fd.Body.List)
+	hc.fnName, hc.params = prevName, prevParams
+}
+
+func (hc *hotChecker) reportf(pos token.Pos, format string, args ...any) {
+	if hc.pass.Suppressed("hotalloc", pos) {
+		return
+	}
+	args = append(args, hc.fnName)
+	hc.pass.Reportf(pos, format+" in hot function %s", args...)
+}
+
+func (hc *hotChecker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		hc.stmt(s)
+	}
+}
+
+func (hc *hotChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		hc.expr(s.X)
+	case *ast.AssignStmt:
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if call, ok := stripParens(s.Rhs[0]).(*ast.CallExpr); ok &&
+				hc.isBuiltin(call, "append") && len(call.Args) > 0 &&
+				appendTargetsSame(s.Lhs[0], call.Args[0]) {
+				hc.allowedAppend[call] = true
+			}
+		}
+		for _, e := range s.Rhs {
+			hc.expr(e)
+		}
+		for _, e := range s.Lhs {
+			hc.expr(e)
+		}
+	case *ast.IncDecStmt:
+		hc.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						hc.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			if call, ok := stripParens(e).(*ast.CallExpr); ok &&
+				hc.isBuiltin(call, "append") && len(call.Args) > 0 {
+				if id := rootIdent(call.Args[0]); id != nil && hc.isParam(id) {
+					hc.allowedAppend[call] = true
+				}
+			}
+			hc.expr(e)
+		}
+	case *ast.SendStmt:
+		hc.expr(s.Chan)
+		hc.expr(s.Value)
+	case *ast.GoStmt:
+		hc.reportf(s.Pos(), "go statement allocates a goroutine")
+		hc.expr(s.Call)
+	case *ast.DeferStmt:
+		hc.expr(s.Call)
+	case *ast.IfStmt:
+		hc.stmt(s.Init)
+		hc.expr(s.Cond)
+		thenCold, elseCold := coldBranches(hc.pass, s.Cond)
+		if !thenCold {
+			thenCold = blockReturnsError(hc.pass, s.Body)
+		}
+		if !thenCold {
+			hc.stmts(s.Body.List)
+		}
+		if s.Else != nil && !elseCold {
+			if eb, ok := s.Else.(*ast.BlockStmt); ok && blockReturnsError(hc.pass, eb) {
+				return
+			}
+			hc.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		hc.stmt(s.Init)
+		if s.Cond != nil {
+			hc.expr(s.Cond)
+		}
+		hc.stmt(s.Post)
+		hc.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		if tv, ok := hc.pass.TypesInfo.Types[s.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap && s.Value != nil {
+				hc.reportf(s.Value.Pos(), "map iteration copies values")
+			}
+		}
+		hc.expr(s.X)
+		hc.stmts(s.Body.List)
+	case *ast.BlockStmt:
+		if !blockReturnsError(hc.pass, s) {
+			hc.stmts(s.List)
+		}
+	case *ast.SwitchStmt:
+		hc.stmt(s.Init)
+		if s.Tag != nil {
+			hc.expr(s.Tag)
+		}
+		for _, cl := range s.Body.List {
+			clause := cl.(*ast.CaseClause)
+			for _, e := range clause.List {
+				hc.expr(e)
+			}
+			hc.clauseBody(clause.Body)
+		}
+	case *ast.TypeSwitchStmt:
+		hc.stmt(s.Init)
+		hc.stmt(s.Assign)
+		for _, cl := range s.Body.List {
+			hc.clauseBody(cl.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			clause := cl.(*ast.CommClause)
+			hc.stmt(clause.Comm)
+			hc.clauseBody(clause.Body)
+		}
+	case *ast.LabeledStmt:
+		hc.stmt(s.Stmt)
+	}
+}
+
+// clauseBody walks a case/comm clause body, honoring the
+// error-bail cold rule for the clause as a whole.
+func (hc *hotChecker) clauseBody(body []ast.Stmt) {
+	if listReturnsError(hc.pass, body) {
+		return
+	}
+	hc.stmts(body)
+}
+
+func (hc *hotChecker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		hc.call(e)
+	case *ast.FuncLit:
+		hc.reportf(e.Pos(), "closure allocates")
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := stripParens(e.X).(*ast.CompositeLit); ok {
+				hc.reportf(e.Pos(), "&composite literal allocates")
+			}
+		}
+		hc.expr(e.X)
+	case *ast.CompositeLit:
+		if tv, ok := hc.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				hc.reportf(e.Pos(), "slice literal allocates")
+			case *types.Map:
+				hc.reportf(e.Pos(), "map literal allocates")
+			}
+		}
+		for _, el := range e.Elts {
+			hc.expr(el)
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			if tv, ok := hc.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					hc.reportf(e.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+		hc.expr(e.X)
+		hc.expr(e.Y)
+	case *ast.SelectorExpr:
+		if sel, ok := hc.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			hc.reportf(e.Pos(), "method value allocates a bound closure")
+		}
+		hc.expr(e.X)
+	case *ast.KeyValueExpr:
+		hc.expr(e.Value)
+	case *ast.IndexExpr:
+		hc.expr(e.X)
+		hc.expr(e.Index)
+	case *ast.SliceExpr:
+		hc.expr(e.X)
+		hc.expr(e.Low)
+		hc.expr(e.High)
+		hc.expr(e.Max)
+	case *ast.StarExpr:
+		hc.expr(e.X)
+	case *ast.ParenExpr:
+		hc.expr(e.X)
+	case *ast.TypeAssertExpr:
+		hc.expr(e.X)
+	}
+}
+
+func (hc *hotChecker) call(call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := stripParens(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := hc.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				hc.reportf(call.Pos(), "make allocates")
+			case "new":
+				hc.reportf(call.Pos(), "new allocates")
+			case "append":
+				if !hc.allowedAppend[call] {
+					hc.reportf(call.Pos(),
+						"append into a different slice may grow and allocate (only x = append(x, ...) is allocation-stable)")
+				}
+			}
+			for _, a := range call.Args {
+				hc.expr(a)
+			}
+			return
+		}
+	}
+	// Conversions.
+	if tv, ok := hc.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		hc.checkConversion(call, tv.Type)
+		hc.expr(call.Args[0])
+		return
+	}
+	// Resolve the callee.
+	switch fun := stripParens(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := hc.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			hc.callee(call, fn)
+		}
+		hc.expr(fun.X)
+	case *ast.Ident:
+		if fn, ok := hc.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			hc.callee(call, fn)
+		}
+	default:
+		hc.expr(call.Fun)
+	}
+	for _, a := range call.Args {
+		hc.expr(a)
+	}
+}
+
+// checkConversion flags the conversions that copy or box.
+func (hc *hotChecker) checkConversion(call *ast.CallExpr, target types.Type) {
+	argTV, ok := hc.pass.TypesInfo.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return
+	}
+	src, dst := argTV.Type.Underlying(), target.Underlying()
+	if types.IsInterface(dst) && !types.IsInterface(src) {
+		hc.reportf(call.Pos(), "conversion to interface type %s allocates", target)
+		return
+	}
+	if isStringType(dst) && isByteOrRuneSlice(src) {
+		hc.reportf(call.Pos(), "[]byte-to-string conversion copies")
+		return
+	}
+	if isByteOrRuneSlice(dst) && isStringType(src) {
+		hc.reportf(call.Pos(), "string-to-[]byte conversion copies")
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// callee handles a resolved call target: same-package functions join
+// the hot set, denylisted stdlib helpers are flagged, everything else
+// (interface methods, other packages) is trusted to carry its own
+// annotation.
+func (hc *hotChecker) callee(call *ast.CallExpr, fn *types.Func) {
+	if fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg() == hc.pass.Pkg {
+		if _, ok := hc.decls[fn]; ok {
+			hc.visit(fn)
+		}
+		return
+	}
+	path := fn.Pkg().Path()
+	if path == "fmt" {
+		hc.reportf(call.Pos(), "fmt.%s allocates", fn.Name())
+		return
+	}
+	if hotDenylist[path+"."+fn.Name()] {
+		hc.reportf(call.Pos(), "%s.%s allocates", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func (hc *hotChecker) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := stripParens(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := hc.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isParam reports whether id names a slice-typed parameter (or
+// receiver) of the function being walked — the dst argument of the
+// `return append(dst, ...)` threading idiom.
+func (hc *hotChecker) isParam(id *ast.Ident) bool {
+	obj := hc.pass.TypesInfo.ObjectOf(id)
+	if obj == nil || !hc.params[obj] {
+		return false
+	}
+	_, isSlice := obj.Type().Underlying().(*types.Slice)
+	return isSlice
+}
+
+// appendTargetsSame reports whether an assignment LHS and append's
+// first argument name the same slice (after stripping reslices like
+// buf[:0]).
+func appendTargetsSame(lhs, arg ast.Expr) bool {
+	l := renderPath(stripSlices(lhs))
+	a := renderPath(stripSlices(arg))
+	return l != "" && l == a
+}
+
+func stripSlices(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// coldBranches classifies an if statement's branches from its
+// condition: len/cap reads mark the then-branch as an amortized growth
+// path; err != nil marks the then-branch (and err == nil the
+// else-branch) as error handling.
+func coldBranches(pass *Pass, cond ast.Expr) (thenCold, elseCold bool) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := stripParens(n.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					thenCold = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.NEQ || n.Op == token.EQL {
+				if errNilCompare(pass, n) {
+					if n.Op == token.NEQ {
+						thenCold = true
+					} else {
+						elseCold = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return thenCold, elseCold
+}
+
+// errNilCompare reports whether b compares an error-typed expression
+// against nil.
+func errNilCompare(pass *Pass, b *ast.BinaryExpr) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := stripParens(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	isErr := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && tv.Type != nil && isErrorType(tv.Type)
+	}
+	return (isNil(b.X) && isErr(b.Y)) || (isNil(b.Y) && isErr(b.X))
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// blockReturnsError reports whether a block ends by returning a
+// non-nil error — the error-construction bail-out shape.
+func blockReturnsError(pass *Pass, b *ast.BlockStmt) bool {
+	return listReturnsError(pass, b.List)
+}
+
+func listReturnsError(pass *Pass, list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	ret, ok := list[len(list)-1].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) == 0 {
+		return false
+	}
+	last := stripParens(ret.Results[len(ret.Results)-1])
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[last]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"phasemon/internal/lint"
+	"phasemon/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata", lint.HotAllocAnalyzer,
+		"hotalloc", "hotalloc_clean")
+}

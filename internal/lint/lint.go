@@ -15,15 +15,30 @@
 //   - exhaustive: switches over the phase taxonomy and DVFS settings
 //     (Tables 1 and 2) must cover every declared constant or reject
 //     unknown values explicitly, so a new bin can never fall through.
+//   - guarded: struct fields annotated `// guarded by mu` (or
+//     `// guarded by Type.mu` for a foreign owner) may only be read or
+//     written while that mutex is held — RLock suffices for reads;
+//     copy-out-under-lock and *Locked-suffix callees are understood.
+//   - hotalloc: functions annotated //lint:hotpath must be statically
+//     allocation-free through their intra-package call graph; error
+//     and grow-on-demand branches are recognized as cold.
+//   - deadline: conn Read/Write in the serving packages must be
+//     dominated by the matching SetRead/SetWriteDeadline in the same
+//     function or all of its callers.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) but is built purely on the standard
 // library so the module stays dependency-free; porting an analyzer to
 // the upstream framework is a mechanical change of import paths.
 //
-// Escape hatches are line-scoped comment directives: //lint:wallclock,
-// //lint:maporder, //lint:floateq, and //lint:immutable suppress the
-// corresponding finding on their own line or the line below.
+// Escape hatches are line-scoped comment directives — //lint:<name>
+// (e.g. //lint:wallclock, //lint:floateq, //lint:guarded; commas
+// combine several) suppresses the corresponding finding on its own
+// line or the line below. //lint:hotpath is not an escape hatch: it
+// marks a hotalloc root. The suppression policy per package is part
+// of the repo gate: internal/agg, internal/wire, and internal/phased
+// admit no guarded/hotalloc/deadline suppressions at all (see
+// TestNoEscapeHatchesInHotPackages and DESIGN.md §13).
 package lint
 
 import (
@@ -102,12 +117,8 @@ func buildDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:")
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(text)
-				if len(fields) == 0 {
+				names := directiveNames(c.Text)
+				if len(names) == 0 {
 					continue
 				}
 				position := fset.Position(c.Pos())
@@ -115,11 +126,37 @@ func buildDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]
 					out[position.Filename] = make(map[int][]string)
 				}
 				out[position.Filename][position.Line] =
-					append(out[position.Filename][position.Line], fields[0])
+					append(out[position.Filename][position.Line], names...)
 			}
 		}
 	}
 	return out
+}
+
+// directiveNames parses the analyzer names out of one //lint: comment.
+// The directive head is everything up to the first whitespace; commas
+// separate multiple analyzer names (`//lint:guarded,hotalloc reason`),
+// and empty segments are dropped. Comments not starting with //lint:
+// yield nil. Carriage returns (CRLF sources) are treated as
+// whitespace.
+func directiveNames(text string) []string {
+	rest, ok := strings.CutPrefix(text, "//lint:")
+	if !ok {
+		return nil
+	}
+	head := rest
+	if i := strings.IndexFunc(rest, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\r' || r == '\n'
+	}); i >= 0 {
+		head = rest[:i]
+	}
+	var names []string
+	for _, n := range strings.Split(head, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
 }
 
 // RunAnalyzer applies one analyzer to one loaded package and returns

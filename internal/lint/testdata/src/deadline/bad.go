@@ -1,0 +1,41 @@
+// Fixture: undeadlined conn I/O the deadline analyzer must flag.
+package deadline
+
+import "time"
+
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)         { return 0, nil }
+func (conn) Write(p []byte) (int, error)        { return 0, nil }
+func (conn) SetReadDeadline(t time.Time) error  { return nil }
+func (conn) SetWriteDeadline(t time.Time) error { return nil }
+func (conn) SetDeadline(t time.Time) error      { return nil }
+
+func bareRead(c conn, p []byte) {
+	c.Read(p) // want `conn Read without a preceding SetReadDeadline`
+}
+
+func wrongKind(c conn, p []byte) {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	c.Write(p) // want `conn Write without a preceding SetWriteDeadline`
+}
+
+func tooLate(c conn, p []byte) {
+	c.Read(p) // want `conn Read without a preceding SetReadDeadline`
+	c.SetReadDeadline(time.Now().Add(time.Second))
+}
+
+// helperWrite is undeadlined because badCaller never arms the write
+// deadline; goodCaller alone is not enough.
+func helperWrite(c conn, p []byte) {
+	c.Write(p) // want `conn Write without a preceding SetWriteDeadline`
+}
+
+func goodCaller(c conn, p []byte) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	helperWrite(c, p)
+}
+
+func badCaller(c conn, p []byte) {
+	helperWrite(c, p)
+}

@@ -1,0 +1,66 @@
+// Fixture: deadline-disciplined conn I/O the deadline analyzer must
+// accept.
+package deadlineclean
+
+import "time"
+
+type conn struct{}
+
+func (conn) Read(p []byte) (int, error)         { return 0, nil }
+func (conn) Write(p []byte) (int, error)        { return 0, nil }
+func (conn) SetReadDeadline(t time.Time) error  { return nil }
+func (conn) SetWriteDeadline(t time.Time) error { return nil }
+func (conn) SetDeadline(t time.Time) error      { return nil }
+
+func readFrame(c conn, p []byte) {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	c.Read(p)
+}
+
+func writeFrame(c conn, p []byte) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	c.Write(p)
+}
+
+// SetDeadline covers both directions.
+func both(c conn, p []byte) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Read(p)
+	c.Write(p)
+}
+
+// rawWrite relies on its callers, all of which arm the deadline first.
+func rawWrite(c conn, p []byte) {
+	c.Write(p)
+}
+
+func caller1(c conn, p []byte) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	rawWrite(c, p)
+}
+
+func caller2(c conn, p []byte) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	rawWrite(c, p)
+}
+
+// rawRead is covered transitively: middle's only caller arms the read
+// deadline before calling middle.
+func rawRead(c conn, p []byte) {
+	c.Read(p)
+}
+
+func middle(c conn, p []byte) {
+	rawRead(c, p)
+}
+
+func outer(c conn, p []byte) {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	middle(c, p)
+}
+
+// blocking documents a deliberately unbounded read via the escape
+// hatch.
+func blocking(c conn, p []byte) {
+	c.Read(p) //lint:deadline handshake read is deliberately unbounded
+}

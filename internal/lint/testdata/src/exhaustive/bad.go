@@ -5,6 +5,7 @@ import (
 	"exhaustive/agg"
 	"exhaustive/dvfs"
 	"exhaustive/fleet"
+	"exhaustive/lint"
 	"exhaustive/phase"
 	"exhaustive/phased"
 	"exhaustive/wire"
@@ -50,6 +51,14 @@ func missingFrameKinds(k wire.FrameKind) int {
 func missingOutcomes(o agg.Outcome) bool {
 	switch o { // want `switch over agg.Outcome is not exhaustive: missing OutcomeUnscored, OutcomeShed`
 	case agg.OutcomeHit, agg.OutcomeMiss:
+		return true
+	}
+	return false
+}
+
+func missingLockModes(m lint.LockMode) bool {
+	switch m { // want `switch over lint.LockMode is not exhaustive: missing LockModeWrite`
+	case lint.LockModeRead:
 		return true
 	}
 	return false

@@ -1,0 +1,9 @@
+// Fixture model of internal/lint's LockMode enum.
+package lint
+
+type LockMode uint8
+
+const (
+	LockModeRead LockMode = iota
+	LockModeWrite
+)

@@ -7,6 +7,7 @@ import (
 	"exhaustive/agg"
 	"exhaustive/dvfs"
 	"exhaustive/fleet"
+	"exhaustive/lint"
 	"exhaustive/phase"
 	"exhaustive/phased"
 	"exhaustive/wire"
@@ -118,6 +119,17 @@ func partialStateWithDefault(s phased.SessionState) (bool, error) {
 	default:
 		return false, errors.New("session not serving")
 	}
+}
+
+// fullLockMode covers every lock mode; no default needed.
+func fullLockMode(m lint.LockMode) string {
+	switch m {
+	case lint.LockModeRead:
+		return "read"
+	case lint.LockModeWrite:
+		return "write"
+	}
+	return "unknown"
 }
 
 // otherEnum is not in the enforced set; partial coverage is fine.

@@ -1,0 +1,79 @@
+// Fixture: guarded-field accesses the guarded analyzer must flag.
+package guarded
+
+import "sync"
+
+type counterBox struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (b *counterBox) badInc() {
+	b.n++ // want `write of guarded field b.n without holding b.mu`
+}
+
+func (b *counterBox) badRead() int {
+	return b.n // want `read of guarded field b.n without holding b.mu`
+}
+
+func (b *counterBox) lateWrite() int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	b.n = n + 1 // want `write of guarded field b.n without holding b.mu`
+	return n
+}
+
+// closures cannot inherit their creator's lock state: by the time the
+// returned function runs, the deferred Unlock has fired.
+func (b *counterBox) escapingClosure() func() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() {
+		b.n++ // want `write of guarded field b.n without holding b.mu`
+	}
+}
+
+type rwBox struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (r *rwBox) writeUnderRLock(k string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.m[k] = 1 // want `write of guarded field r.m requires r.mu held for writing`
+}
+
+func (r *rwBox) deleteUnderRLock(k string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	delete(r.m, k) // want `write of guarded field r.m requires r.mu held for writing`
+}
+
+// wrongLock holds a different box's mutex than the one it touches.
+func wrongLock(a, b *counterBox) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.n = 1 // want `write of guarded field b.n without holding b.mu`
+}
+
+type owner struct {
+	mu sync.Mutex
+}
+
+type item struct {
+	state int // guarded by owner.mu
+}
+
+func foreignUnheld(o *owner, it *item) {
+	it.state = 1 // want `write of guarded field it.state without holding owner.mu`
+}
+
+type annotTypos struct {
+	mu sync.Mutex
+	a  int /* guarded by lock */  // want `struct has no sync.Mutex or sync.RWMutex field with that name`
+	b  int /* guarded by a.b.c */ // want `malformed guarded-by annotation`
+}
+
+func useAnnotTypos(t *annotTypos) int { return t.a + t.b }

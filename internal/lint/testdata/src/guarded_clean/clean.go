@@ -1,0 +1,102 @@
+// Fixture: guarded-field access patterns the guarded analyzer must
+// accept.
+package guardedclean
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+}
+
+func (b *box) inc() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *box) get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// copyOut snapshots under the lock and publishes after the unlock —
+// the copy-before-unlock discipline the analyzer encodes.
+func (b *box) copyOut() []int {
+	b.mu.Lock()
+	out := make([]int, 0, len(b.m))
+	for _, v := range b.m {
+		out = append(out, v)
+	}
+	b.mu.Unlock()
+	sink(out)
+	return out
+}
+
+func sink([]int) {}
+
+// earlyReturn releases on both paths; accesses stay inside the held
+// region of each.
+func (b *box) earlyReturn(c bool) int {
+	b.mu.Lock()
+	if c {
+		n := b.n
+		b.mu.Unlock()
+		return n
+	}
+	n := b.n * 2
+	b.mu.Unlock()
+	return n
+}
+
+// incLocked follows the *Locked naming convention: the caller holds
+// b.mu.
+func (b *box) incLocked() { b.n++ }
+
+// newBox touches guarded fields of a value no other goroutine can see
+// yet.
+func newBox() *box {
+	b := &box{m: make(map[string]int)}
+	b.n = 1
+	b.m["seed"] = 1
+	return b
+}
+
+type rw struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (r *rw) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+func (r *rw) write(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = v
+}
+
+type keeper struct {
+	mu sync.Mutex
+}
+
+type entry struct {
+	val int // guarded by keeper.mu
+}
+
+// update holds the foreign owner's mutex named by the annotation.
+func update(k *keeper, e *entry) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	e.val = 7
+}
+
+// blessed documents a deliberate unguarded read via the escape hatch.
+func (b *box) blessed() int {
+	return b.n //lint:guarded racy snapshot is acceptable here
+}

@@ -1,0 +1,61 @@
+// Fixture: hot-path allocations the hotalloc analyzer must flag.
+package hotalloc
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+type adder interface{ Add(int) }
+
+type impl struct{ n int }
+
+func (i *impl) Add(d int) { i.n += d }
+
+//lint:hotpath
+func Step(r *ring, xs []int) int {
+	tmp := make([]int, 4) // want `make allocates`
+	_ = tmp
+	p := new(int) // want `new allocates`
+	_ = p
+	r.buf = append(xs, 1) // want `append into a different slice may grow`
+	f := func() {}        // want `closure allocates`
+	f()
+	lit := []int{1, 2} // want `slice literal allocates`
+	_ = lit
+	return helper(r)
+}
+
+// helper is pulled into the hot set by Step's call.
+func helper(r *ring) int {
+	e := &ring{} // want `&composite literal allocates`
+	_ = e
+	s := fmt.Sprintf("%d", len(r.buf)) // want `fmt.Sprintf allocates`
+	return len(s)
+}
+
+//lint:hotpath
+func More(m map[int][8]int, a *impl, s string, bs []byte) int {
+	_ = adder(a) // want `conversion to interface type`
+	t := s + "x" // want `string concatenation allocates`
+	_ = t
+	b := []byte(s) // want `string-to-\[\]byte conversion copies`
+	_ = b
+	u := string(bs) // want `\[\]byte-to-string conversion copies`
+	_ = u
+	n := 0
+	for _, v := range m { // want `map iteration copies values`
+		n += v[0]
+	}
+	g := a.Add // want `method value allocates`
+	g(1)
+	go a.Add(1) // want `go statement allocates`
+	return n
+}
+
+// notHot allocates freely: it carries no annotation and is never
+// called from hot code.
+func notHot() []int {
+	return make([]int, 16)
+}

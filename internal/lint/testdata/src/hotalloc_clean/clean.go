@@ -1,0 +1,89 @@
+// Fixture: allocation-free hot paths the hotalloc analyzer must
+// accept.
+package hotallocclean
+
+import "errors"
+
+type enc struct {
+	buf  []byte
+	keys []uint64
+	n    int
+}
+
+//lint:hotpath
+func Append(e *enc, v byte) {
+	e.buf = append(e.buf, v)     // self-append is allocation-stable
+	e.buf = append(e.buf[:0], v) // reslicing the same backing array too
+}
+
+//lint:hotpath
+func Thread(dst []byte, v byte) []byte {
+	return append(dst, v) // dst-threading return of a slice parameter
+}
+
+//lint:hotpath
+func Grow(e *enc) {
+	if len(e.keys) == 0 {
+		e.keys = make([]uint64, 8) // amortized warm-up behind a len() check: cold
+	}
+	if 4*(e.n+1) > 3*len(e.keys) {
+		e.grow() // growth call behind a len() check: cold, not traversed
+	}
+	e.n++
+}
+
+// grow allocates, but is only reachable from cold blocks.
+func (e *enc) grow() {
+	next := make([]uint64, 2*len(e.keys))
+	copy(next, e.keys)
+	e.keys = next
+}
+
+var errShort = errors.New("short buffer")
+
+//lint:hotpath
+func Decode(p []byte) (uint64, error) {
+	if len(p) < 8 {
+		return 0, errShort
+	}
+	if p[0] != 1 {
+		return 0, errors.New("unsupported version") // error-bail block: cold
+	}
+	var v uint64
+	for _, b := range p[:8] {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+//lint:hotpath
+func Checked(e *enc) int {
+	if err := e.validate(); err != nil {
+		e.fail() // err != nil branch: cold
+		return -1
+	}
+	return int(e.keys[0])
+}
+
+func (e *enc) validate() error { return nil }
+
+// fail allocates, but only runs on the error path.
+func (e *enc) fail() {
+	_ = make([]byte, 1)
+}
+
+//lint:hotpath
+func Blessed() {
+	_ = make([]byte, 1) //lint:hotalloc one-time warm-up, measured zero amortized
+}
+
+// valueComposites never escape to the heap by themselves.
+type pair struct{ a, b int }
+
+//lint:hotpath
+func Values(x int) pair {
+	p := pair{a: x, b: x + 1}
+	var arr [4]int
+	arr[0] = p.a
+	return pair{a: arr[0], b: p.b}
+}

@@ -59,6 +59,11 @@ type Config struct {
 	// MaxAttempts bounds connection attempts per dial; zero retries
 	// until the context is done.
 	MaxAttempts int
+	// WriteTimeout bounds each frame write; a server too slow to drain
+	// our frames fails the connection instead of wedging every session
+	// sharing it. Zero selects 5s (matching the server's default);
+	// negative disables the deadline.
+	WriteTimeout time.Duration
 	// Window is each session's prediction receive buffer (frames the
 	// reader can stay ahead of Recv). Zero selects 1024.
 	Window int
@@ -74,6 +79,9 @@ func (c Config) withDefaults() Config {
 	if c.BackoffMax <= 0 {
 		c.BackoffMax = 2 * time.Second
 	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
 	if c.Window <= 0 {
 		c.Window = 1024
 	}
@@ -87,17 +95,17 @@ type Client struct {
 	cfg Config
 
 	mu       sync.Mutex
-	conn     net.Conn
-	wbuf     []byte
-	sessions map[uint64]*Session
-	closed   bool
-	rng      *rand.Rand
+	conn     net.Conn            // guarded by mu
+	wbuf     []byte              // guarded by mu
+	sessions map[uint64]*Session // guarded by mu
+	closed   bool                // guarded by mu
+	rng      *rand.Rand          // guarded by mu
 
 	// Rollup frames carry a node id, not a session id, so the reader
 	// routes them to the connection's single subscription rather than
 	// through the session table.
-	rollupSess *Session
-	rollupCh   chan wire.Rollup
+	rollupSess *Session         // guarded by mu
+	rollupCh   chan wire.Rollup // guarded by mu
 }
 
 // New builds a client; no connection is made until the first Open.
@@ -221,6 +229,12 @@ func (c *Client) writeLocked(encode func([]byte) []byte) error {
 		return ErrDisconnected
 	}
 	c.wbuf = encode(c.wbuf[:0])
+	if d := c.cfg.WriteTimeout; d > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			c.teardownLocked(err)
+			return ErrDisconnected
+		}
+	}
 	if _, err := c.conn.Write(c.wbuf); err != nil {
 		c.teardownLocked(err)
 		return ErrDisconnected
@@ -242,76 +256,87 @@ func (c *Client) readLoop(conn net.Conn) {
 			c.mu.Unlock()
 			return
 		}
-		switch kind {
-		case wire.KindAck:
-			var a wire.Ack
-			if wire.DecodeAck(payload, &a) == nil {
-				if s := c.lookup(a.SessionID); s != nil {
-					select {
-					case s.acks <- a:
-					default:
-					}
-				}
-			}
-		case wire.KindPrediction:
-			var p wire.Prediction
-			if wire.DecodePrediction(payload, &p) == nil {
-				if s := c.lookup(p.SessionID); s != nil {
-					select {
-					case s.preds <- p:
-					case <-s.done:
-					}
-				}
-			}
-		case wire.KindDrain:
-			var d wire.Drain
-			if wire.DecodeDrain(payload, &d) == nil {
-				if s := c.lookup(d.SessionID); s != nil {
-					select {
-					case s.drain <- d:
-					default:
-					}
-				}
-			}
-		case wire.KindRollup:
-			var r wire.Rollup
-			if wire.DecodeRollup(payload, &r) == nil {
-				c.mu.Lock()
-				s, ch := c.rollupSess, c.rollupCh
-				c.mu.Unlock()
-				if s != nil {
-					select {
-					case ch <- r:
-					case <-s.done:
-					}
-				}
-			}
-		case wire.KindError:
-			var e wire.ErrorFrame
-			if wire.DecodeError(payload, &e) == nil {
-				serr := &ServerError{Code: e.Code, SessionID: e.SessionID, Msg: string(e.Msg)}
-				if s := c.lookup(e.SessionID); s != nil {
-					s.fail(serr)
-				}
-			}
-		case wire.KindHello, wire.KindSample, wire.KindInvalid:
-			// Client-to-server kinds (or the unreachable zero kind)
-			// coming back mean a broken peer; drop the connection.
-			c.mu.Lock()
-			if c.conn == conn {
-				c.teardownLocked(fmt.Errorf("phaseclient: unexpected %v frame from server", kind))
-			}
-			c.mu.Unlock()
-			return
-		default:
-			c.mu.Lock()
-			if c.conn == conn {
-				c.teardownLocked(fmt.Errorf("phaseclient: unknown frame kind %v", kind))
-			}
-			c.mu.Unlock()
+		if !c.demux(conn, kind, payload) {
 			return
 		}
 	}
+}
+
+// demux routes one decoded frame to its session. It reports false when
+// the frame is fatal to the connection (after tearing it down), which
+// ends the read loop. Factored out of readLoop so the steady-state
+// path has a synchronous zero-allocation witness (TestDemuxZeroAlloc).
+func (c *Client) demux(conn net.Conn, kind wire.FrameKind, payload []byte) bool {
+	switch kind {
+	case wire.KindAck:
+		var a wire.Ack
+		if wire.DecodeAck(payload, &a) == nil {
+			if s := c.lookup(a.SessionID); s != nil {
+				select {
+				case s.acks <- a:
+				default:
+				}
+			}
+		}
+	case wire.KindPrediction:
+		var p wire.Prediction
+		if wire.DecodePrediction(payload, &p) == nil {
+			if s := c.lookup(p.SessionID); s != nil {
+				select {
+				case s.preds <- p:
+				case <-s.done:
+				}
+			}
+		}
+	case wire.KindDrain:
+		var d wire.Drain
+		if wire.DecodeDrain(payload, &d) == nil {
+			if s := c.lookup(d.SessionID); s != nil {
+				select {
+				case s.drain <- d:
+				default:
+				}
+			}
+		}
+	case wire.KindRollup:
+		var r wire.Rollup
+		if wire.DecodeRollup(payload, &r) == nil {
+			c.mu.Lock()
+			s, ch := c.rollupSess, c.rollupCh
+			c.mu.Unlock()
+			if s != nil {
+				select {
+				case ch <- r:
+				case <-s.done:
+				}
+			}
+		}
+	case wire.KindError:
+		var e wire.ErrorFrame
+		if wire.DecodeError(payload, &e) == nil {
+			serr := &ServerError{Code: e.Code, SessionID: e.SessionID, Msg: string(e.Msg)}
+			if s := c.lookup(e.SessionID); s != nil {
+				s.fail(serr)
+			}
+		}
+	case wire.KindHello, wire.KindSample, wire.KindInvalid:
+		// Client-to-server kinds (or the unreachable zero kind)
+		// coming back mean a broken peer; drop the connection.
+		c.mu.Lock()
+		if c.conn == conn {
+			c.teardownLocked(fmt.Errorf("phaseclient: unexpected %v frame from server", kind))
+		}
+		c.mu.Unlock()
+		return false
+	default:
+		c.mu.Lock()
+		if c.conn == conn {
+			c.teardownLocked(fmt.Errorf("phaseclient: unknown frame kind %v", kind))
+		}
+		c.mu.Unlock()
+		return false
+	}
+	return true
 }
 
 // teardownLocked drops the connection and fails every session; callers

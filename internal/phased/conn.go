@@ -18,10 +18,10 @@ type serverConn struct {
 	c   net.Conn
 
 	wmu  sync.Mutex
-	wbuf []byte
+	wbuf []byte // guarded by wmu
 
 	smu      sync.Mutex
-	sessions []*session
+	sessions []*session // guarded by smu
 
 	closeOnce sync.Once
 }
@@ -66,9 +66,9 @@ func (sc *serverConn) takeSessions() []*session {
 	return out
 }
 
-// flush writes the encoded frame sitting in wbuf under the write
+// flushLocked writes the encoded frame sitting in wbuf under the write
 // deadline; callers hold wmu.
-func (sc *serverConn) flush() error {
+func (sc *serverConn) flushLocked() error {
 	if d := sc.srv.cfg.WriteTimeout; d > 0 {
 		_ = sc.c.SetWriteDeadline(time.Now().Add(d))
 	}
@@ -83,33 +83,33 @@ func (sc *serverConn) writeAck(a *wire.Ack) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
 	sc.wbuf = wire.AppendAck(sc.wbuf[:0], a)
-	return sc.flush()
+	return sc.flushLocked()
 }
 
 func (sc *serverConn) writePrediction(p *wire.Prediction) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
 	sc.wbuf = wire.AppendPrediction(sc.wbuf[:0], p)
-	return sc.flush()
+	return sc.flushLocked()
 }
 
 func (sc *serverConn) writeDrain(d *wire.Drain) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
 	sc.wbuf = wire.AppendDrain(sc.wbuf[:0], d)
-	return sc.flush()
+	return sc.flushLocked()
 }
 
 func (sc *serverConn) writeRollup(r *wire.Rollup) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
 	sc.wbuf = wire.AppendRollup(sc.wbuf[:0], r)
-	return sc.flush()
+	return sc.flushLocked()
 }
 
 func (sc *serverConn) writeError(e *wire.ErrorFrame) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
 	sc.wbuf = wire.AppendError(sc.wbuf[:0], e)
-	return sc.flush()
+	return sc.flushLocked()
 }

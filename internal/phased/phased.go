@@ -134,15 +134,15 @@ type Server struct {
 	scratch []wire.Rollup // flusher-owned copy-out buffer
 
 	mu         sync.Mutex
-	ln         net.Listener
-	conns      map[*serverConn]struct{}
-	sessions   map[uint64]*session
-	perIP      map[string]int
-	rollupSubs map[*serverConn]struct{}
-	draining   bool
-	closed     bool
+	ln         net.Listener             // guarded by mu
+	conns      map[*serverConn]struct{} // guarded by mu
+	sessions   map[uint64]*session      // guarded by mu
+	perIP      map[string]int           // guarded by mu
+	rollupSubs map[*serverConn]struct{} // guarded by mu
+	draining   bool                     // guarded by mu
+	closed     bool                     // guarded by mu
 
-	flusherStarted bool
+	flusherStarted bool // guarded by mu
 	flusherStop    chan struct{}
 	flusherDone    chan struct{}
 	flusherOnce    sync.Once

@@ -105,12 +105,12 @@ type session struct {
 	trans     *dvfs.Translation
 	numPhases int
 
-	// Guarded by the owning worker's mutex.
-	state    SessionState
-	queue    sampleRing
-	queued   bool   // on the worker's runqueue
-	draining bool   // drain requested; flush then close
-	dropped  uint64 // cumulative queue evictions, echoed in Predictions
+	// Owned by the pinned worker; see the struct comment.
+	state    SessionState // guarded by worker.mu
+	queue    sampleRing   // guarded by worker.mu
+	queued   bool         // guarded by worker.mu; on the worker's runqueue
+	draining bool         // guarded by worker.mu; drain requested; flush then close
+	dropped  uint64       // guarded by worker.mu; queue evictions, echoed in Predictions
 
 	// Owned by the worker goroutine.
 	lastSeq   uint64 // highest processed sample sequence number

@@ -22,9 +22,9 @@ type worker struct {
 	idx     int
 	mu      sync.Mutex
 	cond    *sync.Cond
-	runq    []*session
-	started bool
-	stopped bool
+	runq    []*session // guarded by mu
+	started bool       // guarded by Server.mu
+	stopped bool       // guarded by mu
 }
 
 // scheduleLocked puts the session on the runqueue if it is not already
@@ -51,6 +51,8 @@ func (w *worker) stop() {
 // while this goroutine computes — and a session re-queues itself if
 // more samples arrive mid-batch, preserving FIFO order because it is
 // always this one goroutine that processes it.
+//
+//lint:hotpath
 func (w *worker) run() {
 	var batch []wire.Sample
 	w.mu.Lock()
@@ -114,7 +116,8 @@ func (w *worker) run() {
 			sess.state = StateClosed
 			w.mu.Unlock()
 			w.srv.unregisterSession(sess)
-			_ = sess.conn.writeDrain(&wire.Drain{SessionID: sess.id, LastSeq: last})
+			d := wire.Drain{SessionID: sess.id, LastSeq: last}
+			_ = sess.conn.writeDrain(&d)
 		}
 
 		w.mu.Lock()

@@ -97,11 +97,11 @@ const DefaultJournalCapacity = 4096
 // are safe for concurrent use and no-ops on a nil receiver.
 type Journal struct {
 	mu      sync.Mutex
-	buf     []Event
-	start   int // index of the oldest event when len(buf) == cap
-	n       int // events currently held
-	seq     uint64
-	dropped uint64
+	buf     []Event // guarded by mu
+	start   int     // guarded by mu; index of the oldest event when len(buf) == cap
+	n       int     // guarded by mu; events currently held
+	seq     uint64  // guarded by mu
+	dropped uint64  // guarded by mu
 }
 
 // NewJournal builds a journal holding at most capacity events;
@@ -168,6 +168,8 @@ func (j *Journal) Cap() int {
 	if j == nil {
 		return 0
 	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	return len(j.buf)
 }
 

@@ -197,9 +197,9 @@ func (h *Histogram) NumBuckets() int {
 // (returning a nil instrument, itself safe to use) on a nil receiver.
 type Registry struct {
 	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -136,10 +136,10 @@ type Cache struct {
 	tel *telemetry.Hub
 
 	mu       sync.Mutex
-	entries  map[Key]*list.Element // of *Trace
-	lru      *list.List            // front = most recently used
-	samples  int
-	inflight map[Key]*flight
+	entries  map[Key]*list.Element // guarded by mu; of *Trace
+	lru      *list.List            // guarded by mu; front = most recently used
+	samples  int                   // guarded by mu
+	inflight map[Key]*flight       // guarded by mu
 }
 
 type flight struct {

@@ -374,6 +374,8 @@ func appendCRC(dst []byte, start int) []byte {
 // AppendHello encodes a Hello frame onto dst and returns the extended
 // slice. Specs longer than MaxPayload-helloFixed are truncated — in
 // practice specs are tens of bytes.
+//
+//lint:hotpath
 func AppendHello(dst []byte, h *Hello) []byte {
 	spec := h.Spec
 	if len(spec) > MaxPayload-helloFixed {
@@ -390,6 +392,8 @@ func AppendHello(dst []byte, h *Hello) []byte {
 }
 
 // AppendAck encodes an Ack frame onto dst.
+//
+//lint:hotpath
 func AppendAck(dst []byte, a *Ack) []byte {
 	start := len(dst)
 	dst = appendHeader(dst, KindAck, ackSize)
@@ -399,6 +403,8 @@ func AppendAck(dst []byte, a *Ack) []byte {
 }
 
 // AppendSample encodes a Sample frame onto dst.
+//
+//lint:hotpath
 func AppendSample(dst []byte, s *Sample) []byte {
 	start := len(dst)
 	dst = appendHeader(dst, KindSample, sampleSize)
@@ -412,6 +418,8 @@ func AppendSample(dst []byte, s *Sample) []byte {
 }
 
 // AppendPrediction encodes a Prediction frame onto dst.
+//
+//lint:hotpath
 func AppendPrediction(dst []byte, p *Prediction) []byte {
 	start := len(dst)
 	dst = appendHeader(dst, KindPrediction, predictionSize)
@@ -423,6 +431,8 @@ func AppendPrediction(dst []byte, p *Prediction) []byte {
 }
 
 // AppendDrain encodes a Drain frame onto dst.
+//
+//lint:hotpath
 func AppendDrain(dst []byte, d *Drain) []byte {
 	start := len(dst)
 	dst = appendHeader(dst, KindDrain, drainSize)
@@ -433,6 +443,8 @@ func AppendDrain(dst []byte, d *Drain) []byte {
 
 // AppendError encodes an Error frame onto dst. Messages longer than
 // the payload bound are truncated.
+//
+//lint:hotpath
 func AppendError(dst []byte, e *ErrorFrame) []byte {
 	msg := e.Msg
 	if len(msg) > MaxPayload-errorFixed {
@@ -448,6 +460,8 @@ func AppendError(dst []byte, e *ErrorFrame) []byte {
 }
 
 // AppendRollup encodes a Rollup frame onto dst.
+//
+//lint:hotpath
 func AppendRollup(dst []byte, r *Rollup) []byte {
 	start := len(dst)
 	dst = appendHeader(dst, KindRollup, rollupSize)
@@ -482,6 +496,8 @@ func AppendRollup(dst []byte, r *Rollup) []byte {
 // DecodeHeader validates an 8-byte header and returns the kind and
 // payload length. It does not verify the CRC (the payload has not been
 // read yet); Decoder.Next and VerifyFrame do.
+//
+//lint:hotpath
 func DecodeHeader(hdr []byte) (FrameKind, int, error) {
 	if len(hdr) < HeaderSize {
 		return KindInvalid, 0, fmt.Errorf("%w: header %d bytes", ErrShort, len(hdr))
@@ -504,6 +520,8 @@ func DecodeHeader(hdr []byte) (FrameKind, int, error) {
 }
 
 // DecodeHello parses a Hello payload. h.Spec aliases the payload.
+//
+//lint:hotpath
 func DecodeHello(payload []byte, h *Hello) error {
 	if len(payload) < helloFixed {
 		return fmt.Errorf("%w: hello %d bytes", ErrShort, len(payload))
@@ -520,6 +538,8 @@ func DecodeHello(payload []byte, h *Hello) error {
 }
 
 // DecodeAck parses an Ack payload.
+//
+//lint:hotpath
 func DecodeAck(payload []byte, a *Ack) error {
 	if len(payload) != ackSize {
 		return fmt.Errorf("%w: ack %d bytes", ErrShort, len(payload))
@@ -530,6 +550,8 @@ func DecodeAck(payload []byte, a *Ack) error {
 }
 
 // DecodeSample parses a Sample payload into s without allocating.
+//
+//lint:hotpath
 func DecodeSample(payload []byte, s *Sample) error {
 	if len(payload) != sampleSize {
 		return fmt.Errorf("%w: sample %d bytes", ErrShort, len(payload))
@@ -545,6 +567,8 @@ func DecodeSample(payload []byte, s *Sample) error {
 
 // DecodePrediction parses a Prediction payload into p without
 // allocating.
+//
+//lint:hotpath
 func DecodePrediction(payload []byte, p *Prediction) error {
 	if len(payload) != predictionSize {
 		return fmt.Errorf("%w: prediction %d bytes", ErrShort, len(payload))
@@ -560,6 +584,8 @@ func DecodePrediction(payload []byte, p *Prediction) error {
 }
 
 // DecodeDrain parses a Drain payload.
+//
+//lint:hotpath
 func DecodeDrain(payload []byte, d *Drain) error {
 	if len(payload) != drainSize {
 		return fmt.Errorf("%w: drain %d bytes", ErrShort, len(payload))
@@ -570,6 +596,8 @@ func DecodeDrain(payload []byte, d *Drain) error {
 }
 
 // DecodeError parses an Error payload. e.Msg aliases the payload.
+//
+//lint:hotpath
 func DecodeError(payload []byte, e *ErrorFrame) error {
 	if len(payload) < errorFixed {
 		return fmt.Errorf("%w: error %d bytes", ErrShort, len(payload))
@@ -585,6 +613,8 @@ func DecodeError(payload []byte, e *ErrorFrame) error {
 }
 
 // DecodeRollup parses a Rollup payload into r without allocating.
+//
+//lint:hotpath
 func DecodeRollup(payload []byte, r *Rollup) error {
 	if len(payload) != rollupSize {
 		return fmt.Errorf("%w: rollup %d bytes", ErrShort, len(payload))
