@@ -82,7 +82,7 @@ bench-json:
 	@mkdir -p out
 	$(GO) test -run '^$$' -bench 'BenchmarkGovernorRun$$|BenchmarkGPHTObserve$$|BenchmarkHeadline$$' -benchmem -benchtime=$(BENCHTIME) . > out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetSweep$$' -benchmem -benchtime=$(BENCHTIME) ./internal/fleet >> out/bench.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkMonitorStepAllocs$$' -benchmem -benchtime=$(BENCHTIME) ./internal/core >> out/bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkMonitorStepAllocs$$|BenchmarkSnapshotRoundTrip$$' -benchmem -benchtime=$(BENCHTIME) ./internal/core >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkWorkloadCache$$' -benchmem -benchtime=$(BENCHTIME) ./internal/wcache >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkWireRoundTrip$$|BenchmarkRollupEncode$$' -benchmem -benchtime=$(BENCHTIME) ./internal/wire >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSessionStep$$' -benchmem -benchtime=$(BENCHTIME) ./internal/phased >> out/bench.txt

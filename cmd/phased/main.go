@@ -7,7 +7,12 @@
 // The process drains gracefully on SIGINT/SIGTERM: queued samples
 // flush, every open session receives a Drain frame, the telemetry
 // listener finishes in-flight scrapes, and the process exits 0 — the
-// contract the serve-smoke harness asserts.
+// contract the serve-smoke harness asserts. Sessions opened resumable
+// (wire.FlagSnapshot) additionally receive a Snapshot frame carrying
+// the predictor's full serialized state just before their Drain, so a
+// rolling restart is lossless: clients resume the session on the
+// replacement process and predictions continue bit-identically (see
+// phasefeed -resume and DESIGN.md §14).
 //
 // Usage:
 //

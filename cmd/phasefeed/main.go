@@ -9,15 +9,23 @@
 // The exit status is the verdict: 0 when every node drained cleanly
 // with no mismatches, dropped samples, or server errors; 1 otherwise.
 //
+// With -resume each node opens its session resumable: if the server
+// drains mid-stream (a rolling restart), the node takes the Snapshot
+// frame the draining server hands back, redials with backoff, resumes
+// the session from the snapshot, and continues streaming from the next
+// unprocessed interval — and -check still demands bit-identity across
+// the migration, making phasefeed the live rolling-restart harness.
+//
 // Usage:
 //
 //	phasefeed -addr HOST:PORT [-nodes 4] [-workload mcf_inp]
 //	          [-intervals 400] [-spec gpht_8_128] [-rate 0]
-//	          [-seed 1] [-check] [-timeout 60s]
+//	          [-seed 1] [-check] [-resume] [-timeout 60s]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +51,7 @@ func main() {
 		rate      = flag.Float64("rate", 0, "samples per second per node (0 = full speed)")
 		seed      = flag.Int64("seed", 1, "base workload seed; node i uses seed+i")
 		check     = flag.Bool("check", true, "verify streamed predictions are bit-identical to the local run")
+		resume    = flag.Bool("resume", false, "open resumable sessions and ride out server drains via snapshot/resume")
 		timeout   = flag.Duration("timeout", 60*time.Second, "overall run deadline")
 	)
 	flag.Parse()
@@ -51,7 +60,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	ok, err := run(*addr, *nodes, *profile, *intervals, *spec, *rate, *seed, *check, *timeout)
+	ok, err := run(*addr, *nodes, *profile, *intervals, *spec, *rate, *seed, *check, *resume, *timeout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phasefeed: %v\n", err)
 		os.Exit(1)
@@ -70,7 +79,7 @@ type nodeResult struct {
 	err         error
 }
 
-func run(addr string, nodes int, profileName string, intervals int, spec string, rate float64, seed int64, check bool, timeout time.Duration) (bool, error) {
+func run(addr string, nodes int, profileName string, intervals int, spec string, rate float64, seed int64, check, resume bool, timeout time.Duration) (bool, error) {
 	prof, err := workload.ByName(profileName)
 	if err != nil {
 		return false, err
@@ -97,7 +106,7 @@ func run(addr string, nodes int, profileName string, intervals int, spec string,
 			defer wg.Done()
 			results[i] = feedNode(ctx, addr, uint64(i+1), prof, cache,
 				workload.Params{Seed: seed + int64(i), Intervals: intervals},
-				pol, trans, spec, rate, check)
+				pol, trans, spec, rate, check, resume)
 		}(i)
 	}
 	wg.Wait()
@@ -123,8 +132,10 @@ func run(addr string, nodes int, profileName string, intervals int, spec string,
 }
 
 // feedNode runs one simulated node: local governed run, then stream
-// and (optionally) verify.
-func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profile, cache *wcache.Cache, params workload.Params, pol governor.Policy, trans *dvfs.Translation, spec string, rate float64, check bool) nodeResult {
+// and (optionally) verify. With resume, a server drain mid-stream is
+// survived by resuming the session from its snapshot and continuing
+// from the next unprocessed interval.
+func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profile, cache *wcache.Cache, params workload.Params, pol governor.Policy, trans *dvfs.Translation, spec string, rate float64, check, resume bool) nodeResult {
 	var res nodeResult
 	trace := cache.Get(prof, params)
 	local, err := governor.RunContext(ctx, trace.Generator(), pol, governor.Config{})
@@ -133,15 +144,94 @@ func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profil
 		return res
 	}
 	log := local.Log
+	res.samples = len(log)
+	if len(log) == 0 {
+		return res
+	}
 
 	cl := phaseclient.New(phaseclient.Config{Addr: addr, MaxAttempts: 8})
 	defer cl.Close()
-	sess, _, err := cl.Open(ctx, id, spec, 100e6)
+	open := cl.Open
+	if resume {
+		open = cl.OpenResumable
+	}
+	sess, _, err := open(ctx, id, spec, 100e6)
 	if err != nil {
 		res.err = fmt.Errorf("open: %w", err)
 		return res
 	}
 
+	start := 0
+	for {
+		err := streamRange(ctx, sess, log, start, trans, rate, check, &res)
+		if err == nil {
+			break
+		}
+		// A drained server hands resumable sessions their snapshot just
+		// before the stream dies; anything else (or a stateless run) is
+		// a hard failure. Presence of the snapshot, not the error text,
+		// is the gate: the terminal error can surface either as the
+		// wrapped ErrResumable or as a late server error frame.
+		snap, ok := sess.Snapshot()
+		if !resume || !ok {
+			res.err = err
+			return res
+		}
+		if !errors.Is(err, phaseclient.ErrResumable) && !errors.Is(err, phaseclient.ErrDisconnected) {
+			res.err = err
+			return res
+		}
+		fmt.Fprintf(os.Stderr, "phasefeed: node %d: server drained at seq %d; resuming\n", id, snap.LastSeq)
+		sess, err = resumeSession(ctx, cl, snap)
+		if err != nil {
+			res.err = fmt.Errorf("resume: %w", err)
+			return res
+		}
+		if snap.LastSeq == wire.NoSamples {
+			start = 0
+		} else {
+			start = int(snap.LastSeq) + 1
+		}
+	}
+	if d, err := sess.Drain(ctx); err != nil {
+		res.err = fmt.Errorf("drain: %w", err)
+	} else if want := uint64(len(log) - 1); d.LastSeq != want {
+		res.err = fmt.Errorf("drain LastSeq = %d, want %d", d.LastSeq, want)
+	}
+	return res
+}
+
+// resumeSession restores a drained session, retrying transient
+// failures: during a rolling restart the Restore can race the old
+// process (still draining, answers overloaded) or the replacement
+// (not yet listening), both of which resolve by waiting. Anything
+// else — a rejected snapshot, a bad spec — fails immediately.
+func resumeSession(ctx context.Context, cl *phaseclient.Client, snap phaseclient.SessionSnapshot) (*phaseclient.Session, error) {
+	var err error
+	for {
+		var sess *phaseclient.Session
+		sess, _, err = cl.Resume(ctx, snap)
+		if err == nil {
+			return sess, nil
+		}
+		var serr *phaseclient.ServerError
+		retryable := errors.Is(err, phaseclient.ErrDisconnected) ||
+			(errors.As(err, &serr) && serr.Code == wire.CodeOverloaded)
+		if !retryable {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w (last error: %v)", ctx.Err(), err)
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// streamRange streams log[start:] over the session and receives until
+// the final sample's prediction, accumulating into res. It returns nil
+// on completion and the session's terminal error otherwise.
+func streamRange(ctx context.Context, sess *phaseclient.Session, log []kernelsim.Entry, start int, trans *dvfs.Translation, rate float64, check bool, res *nodeResult) error {
 	// Windowed lockstep: at most window samples outstanding, so a
 	// checking run can never overflow the server's bounded queue (which
 	// would evict samples and — by design — fork the prediction
@@ -149,25 +239,28 @@ func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profil
 	const window = 32
 	tokens := make(chan struct{}, window)
 	sendErr := make(chan error, 1)
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	go func() {
 		var tick *time.Ticker
 		if rate > 0 {
 			tick = time.NewTicker(time.Duration(float64(time.Second) / rate))
 			defer tick.Stop()
 		}
-		for i, e := range log {
+		for i := start; i < len(log); i++ {
+			e := log[i]
 			if tick != nil {
 				select {
 				case <-tick.C:
-				case <-ctx.Done():
-					sendErr <- ctx.Err()
+				case <-sctx.Done():
+					sendErr <- sctx.Err()
 					return
 				}
 			}
 			select {
 			case tokens <- struct{}{}:
-			case <-ctx.Done():
-				sendErr <- ctx.Err()
+			case <-sctx.Done():
+				sendErr <- sctx.Err()
 				return
 			}
 			if err := sess.Send(wire.Sample{
@@ -188,12 +281,12 @@ func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profil
 	// sequence number is guaranteed to be answered. Every prediction
 	// releases its own window token plus one per sample evicted since
 	// the previous prediction, so the sender can never wedge.
-	var prevDropped uint64
-	for len(log) > 0 {
+	prevDropped := res.dropped
+	for {
 		p, err := sess.Recv(ctx)
 		if err != nil {
-			res.err = fmt.Errorf("recv after %d predictions: %w", res.predictions, err)
-			return res
+			cancel()
+			return fmt.Errorf("recv after %d predictions: %w", res.predictions, err)
 		}
 		res.predictions++
 		res.dropped = p.Dropped
@@ -211,17 +304,7 @@ func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profil
 			break
 		}
 	}
-	res.samples = len(log)
-	if err := <-sendErr; err != nil {
-		res.err = err
-		return res
-	}
-	if d, err := sess.Drain(ctx); err != nil {
-		res.err = fmt.Errorf("drain: %w", err)
-	} else if want := uint64(len(log) - 1); d.LastSeq != want {
-		res.err = fmt.Errorf("drain LastSeq = %d, want %d", d.LastSeq, want)
-	}
-	return res
+	return <-sendErr
 }
 
 // verify compares one streamed prediction against the local run.

@@ -236,20 +236,26 @@ func run(bench, predictor, phases string, depth, entries, window int, threshold 
 	if err != nil {
 		return err
 	}
-	mon, err := core.NewMonitor(cls, pred)
-	if err != nil {
-		return err
-	}
+	// The hub exists before the monitor and machine so observation is
+	// wired at construction; there is no post-hoc telemetry retrofit.
 	hub, stopTel, err := startTelemetry(telemetryAddr, cls.NumPhases())
 	if err != nil {
 		return err
 	}
 	defer stopTel()
+	var monOpts []core.Option
+	if hub != nil {
+		monOpts = append(monOpts, core.WithTelemetry(hub))
+	}
+	mon, err := core.NewMonitor(cls, pred, monOpts...)
+	if err != nil {
+		return err
+	}
 	mod, err := kernelsim.NewModule(kernelsim.Config{Monitor: mon, Telemetry: hub})
 	if err != nil {
 		return err
 	}
-	m := machine.New(machine.Config{})
+	m := machine.New(machine.Config{Telemetry: hub})
 	if err := mod.Load(m); err != nil {
 		return err
 	}

@@ -34,7 +34,7 @@ type DurationPredictor struct {
 	succ [][]int
 }
 
-var _ Predictor = (*DurationPredictor)(nil)
+var _ StatefulPredictor = (*DurationPredictor)(nil)
 
 // NewDurationPredictor builds the predictor. alpha is the EMA
 // smoothing for run durations; values in (0, 1]. Zero selects 0.25.

@@ -91,7 +91,7 @@ type GPHT struct {
 	tel *telemetry.Hub
 }
 
-var _ Predictor = (*GPHT)(nil)
+var _ StatefulPredictor = (*GPHT)(nil)
 
 // NewGPHT builds the predictor. WithTelemetry attaches a hub at
 // construction.
@@ -137,13 +137,12 @@ func (g *GPHT) Hits() uint64 { return g.hits }
 // Misses reports PHT lookup misses since the last Reset.
 func (g *GPHT) Misses() uint64 { return g.misses }
 
-// SetTelemetry attaches a telemetry hub; PHT lookup outcomes are then
-// mirrored into its hit/miss counters. Nil detaches.
-//
-// Deprecated: pass WithTelemetry(h) to NewGPHT instead. The setter
-// keeps working for monitors that forward a hub to an already-built
-// predictor.
-func (g *GPHT) SetTelemetry(h *telemetry.Hub) { g.tel = h }
+// setTelemetry implements the package-internal telemetrySetter hook:
+// a monitor built with WithTelemetry forwards its hub here so PHT
+// lookup outcomes mirror into the hub's hit/miss counters. External
+// callers wire a hub with WithTelemetry at construction; the old
+// exported SetTelemetry mutator is gone.
+func (g *GPHT) setTelemetry(h *telemetry.Hub) { g.tel = h }
 
 // Observe implements Predictor: it trains the previously consulted PHT
 // entry with the observed outcome, shifts the GPHR, and looks up the

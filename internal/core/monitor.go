@@ -28,27 +28,20 @@ type Monitor struct {
 }
 
 // telemetrySetter is implemented by predictors that can report into a
-// telemetry hub (the GPHT's hit/miss counters).
+// telemetry hub (the GPHT's hit/miss counters). The method is
+// unexported: observation wiring is decided at construction
+// (WithTelemetry) and forwarded to the predictor by the monitor's own
+// constructor — there is no post-hoc mutation surface.
 type telemetrySetter interface {
-	SetTelemetry(*telemetry.Hub)
+	setTelemetry(*telemetry.Hub)
 }
 
-// SetTelemetry attaches a telemetry hub to the monitor (and to the
-// predictor, if it supports one). A nil hub detaches: unobserved runs
-// pay a single branch per Step.
-//
-// Deprecated: pass WithTelemetry(h) to NewMonitor instead, so the
-// wiring is fixed at construction. The setter keeps working for
-// callers that receive an already-built monitor (the kernel module's
-// Load path).
-func (m *Monitor) SetTelemetry(h *telemetry.Hub) { m.attachTelemetry(h) }
-
-// attachTelemetry is the shared implementation behind WithTelemetry
-// and the deprecated setter.
+// attachTelemetry forwards the construction-time hub to the monitor
+// and its predictor.
 func (m *Monitor) attachTelemetry(h *telemetry.Hub) {
 	m.tel = h
 	if ts, ok := m.pred.(telemetrySetter); ok {
-		ts.SetTelemetry(h)
+		ts.setTelemetry(h)
 	}
 }
 
@@ -71,8 +64,7 @@ func NewMonitor(cls phase.Classifier, pred Predictor, opts ...Option) (*Monitor,
 
 // Telemetry returns the hub the monitor reports into, or nil when the
 // run is unobserved. Construction-time wiring (WithTelemetry) makes
-// this stable for the monitor's lifetime unless a caller retrofits a
-// hub through the deprecated setter.
+// this stable for the monitor's lifetime.
 func (m *Monitor) Telemetry() *telemetry.Hub { return m.tel }
 
 // Classifier returns the monitor's classifier.

@@ -47,7 +47,14 @@ type lastValue struct {
 }
 
 // NewLastValue returns the last-value predictor.
-func NewLastValue() Predictor { return &lastValue{} }
+func NewLastValue() StatefulPredictor { return &lastValue{} }
+
+var (
+	_ StatefulPredictor = (*lastValue)(nil)
+	_ StatefulPredictor = (*fixedWindow)(nil)
+	_ StatefulPredictor = (*variableWindow)(nil)
+	_ StatefulPredictor = (*oracle)(nil)
+)
 
 func (p *lastValue) Name() string { return "LastValue" }
 
@@ -106,7 +113,7 @@ type fixedWindow struct {
 // NewFixedWindow builds a fixed-history-window predictor. The
 // classifier is required for ModeMean and ModeEMA (which re-classify a
 // smoothed Mem/Uop) and ignored for ModeMajority.
-func NewFixedWindow(size int, mode WindowMode, cls phase.Classifier) (Predictor, error) {
+func NewFixedWindow(size int, mode WindowMode, cls phase.Classifier) (StatefulPredictor, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("core: window size %d must be at least 1", size)
 	}
@@ -175,7 +182,7 @@ type variableWindow struct {
 // NewVariableWindow builds a variable-history-window predictor with
 // the given maximum window size and transition threshold (the paper
 // evaluates 128-entry windows with thresholds 0.005 and 0.030).
-func NewVariableWindow(size int, threshold float64) (Predictor, error) {
+func NewVariableWindow(size int, threshold float64) (StatefulPredictor, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("core: window size %d must be at least 1", size)
 	}
@@ -269,7 +276,7 @@ type oracle struct {
 // NewOracle returns a predictor that, at step t, "predicts" the
 // recorded future phase t+1. After the recorded future is exhausted it
 // degrades to last-value.
-func NewOracle(future []phase.ID) Predictor {
+func NewOracle(future []phase.ID) StatefulPredictor {
 	cp := make([]phase.ID, len(future))
 	copy(cp, future)
 	return &oracle{future: cp}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"phasemon/internal/phase"
+)
+
+// snapshotSpecs is one representative spec per registered family plus
+// the geometry variants the serving stack actually deploys. The
+// registry-driven test below cross-checks this list against
+// RegisteredPredictors so a newly registered family cannot dodge the
+// round-trip contract.
+var snapshotSpecs = []string{
+	"lastvalue",
+	"gpht",
+	"gpht_8_1024",
+	"gpht_4_16_hyst",
+	"fixwindow_8",
+	"fixwindow_128",
+	"fixwindow_16_mean",
+	"fixwindow_16_ema",
+	"varwindow_128_0.005",
+	"varwindow_32_0.030",
+	"duration",
+	"duration_0.5",
+	"oracle",
+}
+
+// snapshotStimulus drives a predictor through a phase stream with
+// enough variety to populate windows, tables, and transition counts.
+func snapshotStimulus(n int) []Observation {
+	out := make([]Observation, n)
+	for i := range out {
+		mem := float64(i%11) * 0.005
+		out[i] = Observation{
+			Sample: phase.Sample{MemPerUop: mem, UPC: 1.1},
+			Phase:  phase.Default().Classify(phase.Sample{MemPerUop: mem}),
+		}
+	}
+	return out
+}
+
+// snapshotEnv returns the spec environment the round-trip tests build
+// under: the default classifier, plus a recorded future so the oracle
+// has real state to carry.
+func snapshotEnv() SpecEnv {
+	future := make([]phase.ID, 512)
+	for i := range future {
+		future[i] = phase.ID(1 + (i*i)%6)
+	}
+	return SpecEnv{Classifier: phase.Default(), Future: future}
+}
+
+// TestRegistrySnapshotRoundTrip is the registry's migratability
+// contract: every registered predictor family round-trips through
+// Snapshot → Restore and then continues bit-identically with the
+// original. This is what "any registered predictor is migratable by
+// construction" means operationally.
+func TestRegistrySnapshotRoundTrip(t *testing.T) {
+	env := snapshotEnv()
+	covered := map[string]bool{}
+	for _, specStr := range snapshotSpecs {
+		spec, err := ParsePredictorSpec(specStr)
+		if err != nil {
+			t.Fatalf("spec %q: %v", specStr, err)
+		}
+		covered[spec.Kind] = true
+	}
+	for _, kind := range RegisteredPredictors() {
+		if !covered[kind] {
+			t.Errorf("registered predictor kind %q has no snapshot round-trip spec; add it to snapshotSpecs", kind)
+		}
+	}
+
+	stimulus := snapshotStimulus(600)
+	for _, spec := range snapshotSpecs {
+		t.Run(spec, func(t *testing.T) {
+			orig, err := NewPredictorFromSpec(spec, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range stimulus[:300] {
+				orig.Observe(o)
+			}
+
+			snap := orig.Snapshot(nil)
+			if got, want := len(snap), orig.SnapshotLen(); got != want {
+				t.Fatalf("Snapshot appended %d bytes, SnapshotLen says %d", got, want)
+			}
+			// Snapshot must be a pure read: a second call is identical.
+			if again := orig.Snapshot(nil); !bytes.Equal(snap, again) {
+				t.Fatal("back-to-back Snapshot calls differ")
+			}
+
+			resumed, err := NewPredictorFromSpec(spec, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.Restore(snap); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if !bytes.Equal(resumed.Snapshot(nil), snap) {
+				t.Fatal("restored predictor's snapshot differs from the original's")
+			}
+			for i, o := range stimulus[300:] {
+				a, b := orig.Observe(o), resumed.Observe(o)
+				if a != b {
+					t.Fatalf("step %d after restore diverged: original %v, resumed %v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreRejectsCorruption: every family must reject
+// truncation, a wrong family tag, and a version it does not speak —
+// without panicking and without producing a half-restored predictor.
+func TestSnapshotRestoreRejectsCorruption(t *testing.T) {
+	env := snapshotEnv()
+	stimulus := snapshotStimulus(200)
+	for _, spec := range snapshotSpecs {
+		t.Run(spec, func(t *testing.T) {
+			p, err := NewPredictorFromSpec(spec, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range stimulus {
+				p.Observe(o)
+			}
+			snap := p.Snapshot(nil)
+
+			target, err := NewPredictorFromSpec(spec, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, bad := range map[string][]byte{
+				"empty":        {},
+				"truncated":    snap[:len(snap)/2],
+				"wrong-family": append([]byte{0x7F}, snap[1:]...),
+				"bad-version":  append([]byte{snap[0], 99}, snap[2:]...),
+				"trailing":     append(append([]byte{}, snap...), 0xAA),
+			} {
+				if err := target.Restore(bad); err == nil {
+					t.Errorf("Restore(%s) accepted corrupt input", name)
+				}
+			}
+			// The target still works after rejected restores.
+			target.Reset()
+			if err := target.Restore(p.Snapshot(nil)); err != nil {
+				t.Fatalf("clean Restore after rejections: %v", err)
+			}
+		})
+	}
+}
+
+// TestSnapshotGeometryMismatch: restoring state into a predictor of a
+// different configuration must fail, not silently mis-fit tables.
+func TestSnapshotGeometryMismatch(t *testing.T) {
+	env := snapshotEnv()
+	pairs := [][2]string{
+		{"gpht_8_128", "gpht_8_64"},
+		{"gpht_8_128", "gpht_4_128"},
+		{"gpht_8_128", "gpht_8_128_hyst"},
+		{"fixwindow_8", "fixwindow_16"},
+		{"fixwindow_16", "fixwindow_16_mean"},
+		{"varwindow_128_0.005", "varwindow_128_0.030"},
+		{"duration_0.25", "duration_0.5"},
+	}
+	for _, pair := range pairs {
+		t.Run(pair[0]+"->"+pair[1], func(t *testing.T) {
+			src, err := NewPredictorFromSpec(pair[0], env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range snapshotStimulus(100) {
+				src.Observe(o)
+			}
+			dst, err := NewPredictorFromSpec(pair[1], env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.Restore(src.Snapshot(nil)); err == nil {
+				t.Errorf("restoring %q state into %q succeeded", pair[0], pair[1])
+			}
+		})
+	}
+}
+
+// TestMonitorSnapshotRoundTrip: the full serving envelope — pipeline
+// registers, tally, confusion matrix, predictor — survives a
+// snapshot/restore and continues bit-identically, which is exactly the
+// phased kill-and-resume path in miniature.
+func TestMonitorSnapshotRoundTrip(t *testing.T) {
+	cls := phase.Default()
+	for _, spec := range []string{"gpht_8_128", "fixwindow_128", "lastvalue", "duration"} {
+		t.Run(spec, func(t *testing.T) {
+			mkMon := func() *Monitor {
+				p, err := NewPredictorFromSpec(spec, SpecEnv{Classifier: cls})
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := NewMonitor(cls, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			orig := mkMon()
+			stimulus := snapshotStimulus(500)
+			for _, o := range stimulus[:250] {
+				orig.Step(o.Sample)
+			}
+
+			wantLen, err := orig.SnapshotLen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := orig.Snapshot(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(snap) != wantLen {
+				t.Fatalf("Snapshot appended %d bytes, SnapshotLen says %d", len(snap), wantLen)
+			}
+
+			resumed := mkMon()
+			if err := resumed.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Steps() != orig.Steps() || resumed.Tally() != orig.Tally() ||
+				resumed.LastPrediction() != orig.LastPrediction() {
+				t.Fatalf("restored monitor accounting differs: steps %d/%d tally %+v/%+v",
+					resumed.Steps(), orig.Steps(), resumed.Tally(), orig.Tally())
+			}
+			for p := 0; p <= cls.NumPhases(); p++ {
+				for q := 0; q <= cls.NumPhases(); q++ {
+					if resumed.Confusion().Count(phase.ID(p), phase.ID(q)) != orig.Confusion().Count(phase.ID(p), phase.ID(q)) {
+						t.Fatalf("confusion cell (%d,%d) differs after restore", p, q)
+					}
+				}
+			}
+			for i, o := range stimulus[250:] {
+				a1, n1 := orig.Step(o.Sample)
+				a2, n2 := resumed.Step(o.Sample)
+				if a1 != a2 || n1 != n2 {
+					t.Fatalf("step %d diverged after restore: (%v,%v) vs (%v,%v)", i, a1, n1, a2, n2)
+				}
+			}
+			if orig.Tally() != resumed.Tally() {
+				t.Fatalf("tallies diverged after continuation: %+v vs %+v", orig.Tally(), resumed.Tally())
+			}
+		})
+	}
+}
+
+// TestMonitorSnapshotNotStateful: a monitor around a predictor outside
+// the StatefulPredictor contract reports ErrNotStateful instead of
+// emitting garbage.
+func TestMonitorSnapshotNotStateful(t *testing.T) {
+	mon, err := NewMonitor(phase.Default(), plainPredictor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mon.SnapshotLen(); err == nil {
+		t.Error("SnapshotLen accepted a non-stateful predictor")
+	}
+	if _, err := mon.Snapshot(nil); err == nil {
+		t.Error("Snapshot accepted a non-stateful predictor")
+	}
+	if err := mon.Restore(nil); err == nil {
+		t.Error("Restore accepted a non-stateful predictor")
+	}
+}
+
+// plainPredictor implements only the legacy Predictor interface.
+type plainPredictor struct{}
+
+func (plainPredictor) Name() string                   { return "plain" }
+func (plainPredictor) Observe(o Observation) phase.ID { return o.Phase }
+func (plainPredictor) Reset()                         {}
+
+// TestGPHTSnapshotZeroAlloc is the encode-path memory contract of the
+// migration design (DESIGN.md §14): snapshotting a steady-state GPHT
+// into a buffer of sufficient capacity performs zero heap allocations,
+// so phased's drain path can snapshot every session without disturbing
+// the allocator under load.
+func TestGPHTSnapshotZeroAlloc(t *testing.T) {
+	g := MustNewGPHT(GPHTConfig{GPHRDepth: 8, PHTEntries: 128, NumPhases: 6})
+	for i := 0; i < 4096; i++ {
+		g.Observe(Observation{Phase: phase.ID(1 + (i+i/7)%6)})
+	}
+	buf := make([]byte, 0, g.SnapshotLen())
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = g.Snapshot(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("GPHT.Snapshot allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestMonitorSnapshotZeroAlloc extends the witness to the full
+// monitor envelope phased actually serializes per session.
+func TestMonitorSnapshotZeroAlloc(t *testing.T) {
+	cls := phase.Default()
+	g := MustNewGPHT(GPHTConfig{GPHRDepth: 8, PHTEntries: 128, NumPhases: cls.NumPhases()})
+	mon, err := NewMonitor(cls, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range allocSamples(4096) {
+		mon.Step(s)
+	}
+	n, err := mon.SnapshotLen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, n)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf, _ = mon.Snapshot(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("Monitor.Snapshot allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSnapshotRoundTrip measures the migration unit of work: one
+// steady-state GPHT monitor snapshot encode plus one restore into a
+// fresh monitor. The encode half is the allocs/op contract (0); the
+// restore half is cold-path but bounds how fast a draining node's
+// sessions can land on their new home.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	cls := phase.Default()
+	g := MustNewGPHT(GPHTConfig{GPHRDepth: 8, PHTEntries: 128, NumPhases: cls.NumPhases()})
+	mon, err := NewMonitor(cls, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range allocSamples(4096) {
+		mon.Step(s)
+	}
+	g2 := MustNewGPHT(GPHTConfig{GPHRDepth: 8, PHTEntries: 128, NumPhases: cls.NumPhases()})
+	dst, err := NewMonitor(cls, g2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := mon.SnapshotLen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 0, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = mon.Snapshot(buf[:0])
+		if err := dst.Restore(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -85,8 +85,13 @@ func (e SpecEnv) PhaseCount() int {
 }
 
 // PredictorBuilder constructs a predictor from a parsed spec and its
-// environment.
-type PredictorBuilder func(spec PredictorSpec, env SpecEnv) (Predictor, error)
+// environment. Builders return StatefulPredictor, not Predictor: the
+// registry is the construction surface behind live session migration
+// (phased snapshot-on-drain, phaseclient Resume), so every predictor
+// reachable through a spec string must be snapshottable. A predictor
+// family that cannot serialize its state is rejected at compile time,
+// not at migration time.
+type PredictorBuilder func(spec PredictorSpec, env SpecEnv) (StatefulPredictor, error)
 
 var (
 	specMu       sync.RWMutex
@@ -106,7 +111,10 @@ var (
 // RegisterPredictor adds a predictor family to the spec registry under
 // the given canonical kind (lowercased). It panics on an empty kind or
 // a duplicate registration — both are programmer errors at package
-// init time, matching the expvar/gob registration convention.
+// init time, matching the expvar/gob registration convention. The
+// builder's StatefulPredictor return type makes snapshotability a
+// registration requirement: every registered spec is migratable by
+// construction.
 func RegisterPredictor(kind string, b PredictorBuilder) {
 	kind = strings.ToLower(strings.TrimSpace(kind))
 	if kind == "" {
@@ -160,8 +168,10 @@ func ParsePredictorSpec(s string) (PredictorSpec, error) {
 
 // NewPredictorFromSpec parses the spec string and builds the predictor
 // through the registry — the single entry point replacing the bespoke
-// construction switches that used to live in each command.
-func NewPredictorFromSpec(s string, env SpecEnv) (Predictor, error) {
+// construction switches that used to live in each command. The result
+// is always a StatefulPredictor (see PredictorBuilder), so any
+// spec-built predictor can be snapshotted and restored.
+func NewPredictorFromSpec(s string, env SpecEnv) (StatefulPredictor, error) {
 	spec, err := ParsePredictorSpec(s)
 	if err != nil {
 		return nil, err
@@ -191,7 +201,7 @@ func init() {
 	RegisterPredictor("oracle", buildOracleSpec)
 }
 
-func buildLastValue(spec PredictorSpec, _ SpecEnv) (Predictor, error) {
+func buildLastValue(spec PredictorSpec, _ SpecEnv) (StatefulPredictor, error) {
 	if len(spec.Args) > 0 {
 		return nil, fmt.Errorf("lastvalue takes no arguments, got %v", spec.Args)
 	}
@@ -200,7 +210,7 @@ func buildLastValue(spec PredictorSpec, _ SpecEnv) (Predictor, error) {
 
 // buildGPHTSpec accepts gpht[_depth[_entries[_hyst]]]; omitted
 // geometry falls back to the deployed configuration (8, 128).
-func buildGPHTSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
+func buildGPHTSpec(spec PredictorSpec, env SpecEnv) (StatefulPredictor, error) {
 	cfg := DefaultGPHTConfig()
 	cfg.NumPhases = env.PhaseCount()
 	args := spec.Args
@@ -230,7 +240,7 @@ func buildGPHTSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
 
 // buildFixedWindowSpec accepts fixwindow[_size[_mode]] with mode one
 // of majority (default), mean, ema.
-func buildFixedWindowSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
+func buildFixedWindowSpec(spec PredictorSpec, env SpecEnv) (StatefulPredictor, error) {
 	size := 128
 	mode := ModeMajority
 	if len(spec.Args) > 2 {
@@ -260,7 +270,7 @@ func buildFixedWindowSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
 
 // buildVariableWindowSpec accepts varwindow[_size[_threshold]]; the
 // defaults are the paper's 128-entry window with threshold 0.005.
-func buildVariableWindowSpec(spec PredictorSpec, _ SpecEnv) (Predictor, error) {
+func buildVariableWindowSpec(spec PredictorSpec, _ SpecEnv) (StatefulPredictor, error) {
 	size, threshold := 128, 0.005
 	if len(spec.Args) > 2 {
 		return nil, fmt.Errorf("varwindow takes at most size and threshold, got %v", spec.Args)
@@ -284,7 +294,7 @@ func buildVariableWindowSpec(spec PredictorSpec, _ SpecEnv) (Predictor, error) {
 
 // buildDurationSpec accepts duration[_alpha] with alpha the EMA
 // smoothing in (0, 1]; omitted selects the 0.25 default.
-func buildDurationSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
+func buildDurationSpec(spec PredictorSpec, env SpecEnv) (StatefulPredictor, error) {
 	alpha := 0.0
 	if len(spec.Args) > 1 {
 		return nil, fmt.Errorf("duration takes at most an alpha, got %v", spec.Args)
@@ -303,7 +313,7 @@ func buildDurationSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
 // oracle then degrades to last-value, exactly as NewOracle documents —
 // so specs stay constructible in contexts that validate before the
 // trace exists.
-func buildOracleSpec(spec PredictorSpec, env SpecEnv) (Predictor, error) {
+func buildOracleSpec(spec PredictorSpec, env SpecEnv) (StatefulPredictor, error) {
 	if len(spec.Args) > 0 {
 		return nil, fmt.Errorf("oracle takes no arguments, got %v", spec.Args)
 	}

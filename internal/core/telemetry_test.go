@@ -7,21 +7,21 @@ import (
 	"phasemon/internal/telemetry"
 )
 
-// TestMonitorStepInstrumentation doubles as the deprecated-shim test:
-// it wires the hub through SetTelemetry (the retrofit path kernelsim's
-// Load still needs) rather than WithTelemetry, and detaches with it at
-// the end. New code should use the construction-time option.
+// TestMonitorStepInstrumentation wires the hub at construction
+// (WithTelemetry) — the only wiring surface since the deprecated
+// SetTelemetry retrofit setters were removed — and verifies the
+// instrument flow end to end, including the GPHT hit/miss counters the
+// monitor forwards the hub to.
 func TestMonitorStepInstrumentation(t *testing.T) {
 	cls := phase.Default()
 	gpht := MustNewGPHT(GPHTConfig{GPHRDepth: 2, PHTEntries: 16, NumPhases: cls.NumPhases()})
-	mon, err := NewMonitor(cls, gpht)
+	hub := telemetry.NewHub(cls.NumPhases())
+	mon, err := NewMonitor(cls, gpht, WithTelemetry(hub))
 	if err != nil {
 		t.Fatal(err)
 	}
-	hub := telemetry.NewHub(cls.NumPhases())
-	mon.SetTelemetry(hub)
 	if mon.Telemetry() != hub {
-		t.Fatal("Telemetry() does not report the retrofitted hub")
+		t.Fatal("Telemetry() does not report the construction-time hub")
 	}
 
 	// Phase 1 (Mem/Uop < 0.005), then phase 6 (> 0.030): one
@@ -63,11 +63,15 @@ func TestMonitorStepInstrumentation(t *testing.T) {
 		t.Errorf("monitor accounting disturbed: steps=%d tally=%d", mon.Steps(), mon.Tally().Total())
 	}
 
-	// Detaching stops the flow.
-	mon.SetTelemetry(nil)
-	mon.Step(phase.Sample{MemPerUop: 0.001, UPC: 1.5})
+	// A monitor built without a hub never instruments: construction
+	// decides observability for the monitor's lifetime.
+	plain, err := NewMonitor(cls, MustNewGPHT(GPHTConfig{GPHRDepth: 2, PHTEntries: 16, NumPhases: cls.NumPhases()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Step(phase.Sample{MemPerUop: 0.001, UPC: 1.5})
 	if got := hub.Steps.Value(); got != 2 {
-		t.Errorf("detached monitor still instruments: steps = %d", got)
+		t.Errorf("unobserved monitor leaked into the hub: steps = %d", got)
 	}
 }
 

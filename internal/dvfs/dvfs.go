@@ -360,20 +360,6 @@ func (c *Controller) Set(s Setting) (cost float64, err error) {
 	return c.transitionLatency, nil
 }
 
-// SetTelemetry attaches a telemetry hub; operating-point changes are
-// then counted and journaled. Nil detaches.
-//
-// Deprecated: build the controller with NewControllerWithTelemetry (or
-// set machine.Config.Telemetry) so the wiring is fixed at
-// construction. The setter remains for retrofitting a hub onto an
-// already-built controller.
-func (c *Controller) SetTelemetry(h *telemetry.Hub) {
-	c.tel = h
-	if h != nil {
-		h.CurrentSetting.Set(float64(c.current))
-	}
-}
-
 // Reset returns the controller to the fastest setting and clears its
 // statistics.
 func (c *Controller) Reset() {

@@ -154,17 +154,16 @@ func NewModule(cfg Config) (*Module, error) {
 // counters (the one-time initialization of Figure 8) and starts them.
 func (mod *Module) Load(m *machine.Machine) error {
 	if tel := mod.cfg.Telemetry; tel != nil {
-		// Callers that wired the hub at construction time (the monitor
-		// via core.WithTelemetry, the machine via Config.Telemetry) pass
-		// through untouched; the deprecated setters are invoked only to
-		// retrofit a hub onto components built without one.
+		// Observation is wired at construction (the monitor via
+		// core.WithTelemetry, the machine/controller via their configs'
+		// Telemetry field); the deprecated retrofit setters are gone.
+		// A module hub that differs from the components' is a wiring
+		// bug, caught here instead of silently splitting the metrics.
 		if mod.cfg.Monitor.Telemetry() != tel {
-			//lint:ignore SA1019 Load retrofits an already-built monitor.
-			mod.cfg.Monitor.SetTelemetry(tel)
+			return fmt.Errorf("kernelsim: module telemetry differs from monitor's; build the monitor with core.WithTelemetry")
 		}
 		if m.DVFS().Telemetry() != tel {
-			//lint:ignore SA1019 Load retrofits an already-built controller.
-			m.DVFS().SetTelemetry(tel)
+			return fmt.Errorf("kernelsim: module telemetry differs from DVFS controller's; set machine.Config.Telemetry")
 		}
 	}
 	b := m.PMCs()

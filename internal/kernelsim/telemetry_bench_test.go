@@ -40,7 +40,11 @@ func benchmarkPipeline(b *testing.B, hub *telemetry.Hub) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		mon, err := core.NewMonitor(cls, pred)
+		var monOpts []core.Option
+		if hub != nil {
+			monOpts = append(monOpts, core.WithTelemetry(hub))
+		}
+		mon, err := core.NewMonitor(cls, pred, monOpts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -48,7 +52,7 @@ func benchmarkPipeline(b *testing.B, hub *telemetry.Hub) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		m := machine.New(machine.Config{})
+		m := machine.New(machine.Config{Telemetry: hub})
 		if err := mod.Load(m); err != nil {
 			b.Fatal(err)
 		}

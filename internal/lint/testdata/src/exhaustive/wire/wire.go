@@ -12,4 +12,6 @@ const (
 	KindDrain
 	KindError
 	KindRollup
+	KindSnapshot
+	KindRestore
 )

@@ -82,6 +82,10 @@ func fullFrameKind(k wire.FrameKind) string {
 		return "error"
 	case wire.KindRollup:
 		return "rollup"
+	case wire.KindSnapshot:
+		return "snapshot"
+	case wire.KindRestore:
+		return "restore"
 	}
 	return "unknown"
 }

@@ -12,6 +12,16 @@
 // stream would silently break the prediction sequence), and the next
 // Open redials with jittered exponential backoff under the caller's
 // context.
+//
+// The exception is migration. A session opened with OpenResumable asks
+// the server (wire.FlagSnapshot) to hand back its full predictor state
+// when it drains: the Snapshot frame arrives just before the Drain,
+// the client stores it, and the session's terminal error then wraps
+// ErrResumable as well as ErrDisconnected. Callers that see
+// ErrResumable fetch the state with Session.Snapshot and hand it to
+// Client.Resume — typically on a fresh client pointed at the restarted
+// or replacement node — and the prediction stream continues
+// bit-identically from where the drained server left it.
 package phaseclient
 
 import (
@@ -29,6 +39,14 @@ import (
 // ErrDisconnected reports that the connection carrying a session died;
 // the session cannot be resumed and must be re-opened.
 var ErrDisconnected = errors.New("phaseclient: connection lost")
+
+// ErrResumable reports that the session ended with its predictor state
+// in hand: the server drained it gracefully and delivered a Snapshot
+// frame first. It always accompanies (wraps alongside) ErrDisconnected
+// on the session's terminal error, so errors.Is distinguishes "server
+// draining, snapshot available — call Client.Resume" from a hard
+// transport failure, which only ErrDisconnected matches.
+var ErrResumable = errors.New("phaseclient: session drained with snapshot; resumable")
 
 // ErrClosed reports use of a closed client.
 var ErrClosed = errors.New("phaseclient: client closed")
@@ -133,6 +151,35 @@ type Session struct {
 
 	failOnce sync.Once
 	done     chan struct{}
+
+	// granularity echoes the Hello's GranularityUops into any snapshot
+	// taken from this session, so Resume reopens with the same value.
+	granularity uint64
+
+	snapMu sync.Mutex
+	snap   *SessionSnapshot // guarded by snapMu; set once by the reader
+}
+
+// SessionSnapshot is a drained session's portable state: everything
+// Client.Resume needs to continue the prediction stream bit-identically
+// on any phased node. Spec and State are owned copies, safe to hold
+// across reconnects (or serialize to disk) after the client is gone.
+type SessionSnapshot struct {
+	SessionID       uint64
+	GranularityUops uint64
+	// Spec is the predictor spec the session was serving.
+	Spec string
+	// LastSeq is the highest sample sequence number the server
+	// processed (wire.NoSamples if none); resuming callers send the
+	// next interval with Seq = LastSeq+1.
+	LastSeq uint64
+	// Processed and Dropped are the session's cumulative counts; the
+	// resumed session continues both.
+	Processed uint64
+	Dropped   uint64
+	// State is the opaque monitor state blob (integrity-checked on the
+	// wire in both directions).
+	State []byte
 }
 
 // Open dials if necessary (retrying with jittered exponential backoff
@@ -141,46 +188,112 @@ type Session struct {
 // and returns the live session. numPhases is the server's phase count
 // from the Ack.
 func (c *Client) Open(ctx context.Context, id uint64, spec string, granularityUops uint64) (sess *Session, numPhases int, err error) {
+	return c.open(ctx, id, spec, granularityUops, 0)
+}
+
+// OpenResumable is Open with wire.FlagSnapshot set: when the server
+// drains the session, it first hands back the predictor's full state,
+// which Session.Snapshot then exposes and Client.Resume accepts. Use
+// it for sessions that must survive server restarts.
+func (c *Client) OpenResumable(ctx context.Context, id uint64, spec string, granularityUops uint64) (sess *Session, numPhases int, err error) {
+	return c.open(ctx, id, spec, granularityUops, wire.FlagSnapshot)
+}
+
+func (c *Client) open(ctx context.Context, id uint64, spec string, granularityUops uint64, flags uint16) (*Session, int, error) {
+	s, err := c.handshake(ctx, id, granularityUops, func(b []byte) ([]byte, error) {
+		return wire.AppendHello(b, &wire.Hello{
+			SessionID:       id,
+			GranularityUops: granularityUops,
+			Flags:           flags,
+			Spec:            []byte(spec),
+		}), nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.awaitAck(ctx, s)
+}
+
+// Resume reopens a drained session from its snapshot, dialing (with
+// backoff) if necessary. The server rebuilds the predictor from
+// snap.Spec, restores its state, and continues the prediction stream
+// bit-identically — the resumed session behaves as if the drain never
+// happened, including on a different node or worker layout. The
+// resumed session is itself resumable on the next drain.
+func (c *Client) Resume(ctx context.Context, snap SessionSnapshot) (sess *Session, numPhases int, err error) {
+	s, err := c.handshake(ctx, snap.SessionID, snap.GranularityUops, func(b []byte) ([]byte, error) {
+		return wire.AppendRestore(b, &wire.Restore{
+			SessionID:       snap.SessionID,
+			GranularityUops: snap.GranularityUops,
+			Flags:           wire.FlagSnapshot,
+			LastSeq:         snap.LastSeq,
+			Processed:       snap.Processed,
+			Dropped:         snap.Dropped,
+			Spec:            []byte(snap.Spec),
+			State:           snap.State,
+		})
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.awaitAck(ctx, s)
+}
+
+// handshake registers a new session and writes its opening frame
+// (Hello or Restore) on the dialed connection.
+func (c *Client) handshake(ctx context.Context, id uint64, granularityUops uint64, encode func([]byte) ([]byte, error)) (*Session, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, 0, ErrClosed
+		return nil, ErrClosed
 	}
 	if c.sessions[id] != nil {
 		c.mu.Unlock()
-		return nil, 0, fmt.Errorf("phaseclient: session %d already open", id)
+		return nil, fmt.Errorf("phaseclient: session %d already open", id)
 	}
 	if c.conn == nil {
 		conn, derr := c.dialLocked(ctx)
 		if derr != nil {
 			c.mu.Unlock()
-			return nil, 0, derr
+			return nil, derr
 		}
 		c.conn = conn
 		go c.readLoop(conn)
 	}
 	s := &Session{
-		c:     c,
-		id:    id,
-		acks:  make(chan wire.Ack, 1),
-		preds: make(chan wire.Prediction, c.cfg.Window),
-		drain: make(chan wire.Drain, 1),
-		errs:  make(chan error, 1),
-		done:  make(chan struct{}),
+		c:           c,
+		id:          id,
+		acks:        make(chan wire.Ack, 1),
+		preds:       make(chan wire.Prediction, c.cfg.Window),
+		drain:       make(chan wire.Drain, 1),
+		errs:        make(chan error, 1),
+		done:        make(chan struct{}),
+		granularity: granularityUops,
 	}
 	c.sessions[id] = s
-	err = c.writeLocked(func(b []byte) []byte {
-		return wire.AppendHello(b, &wire.Hello{
-			SessionID:       id,
-			GranularityUops: granularityUops,
-			Spec:            []byte(spec),
-		})
+	var encErr error
+	werr := c.writeLocked(func(b []byte) []byte {
+		out, err := encode(b)
+		if err != nil {
+			encErr = err
+			return b
+		}
+		return out
 	})
 	c.mu.Unlock()
-	if err != nil {
+	if encErr != nil {
 		c.forget(s)
-		return nil, 0, err
+		return nil, encErr
 	}
+	if werr != nil {
+		c.forget(s)
+		return nil, werr
+	}
+	return s, nil
+}
+
+// awaitAck blocks until the session's opening frame is answered.
+func (c *Client) awaitAck(ctx context.Context, s *Session) (*Session, int, error) {
 	select {
 	case ack := <-s.acks:
 		return s, int(ack.NumPhases), nil
@@ -316,10 +429,40 @@ func (c *Client) demux(conn net.Conn, kind wire.FrameKind, payload []byte) bool 
 		if wire.DecodeError(payload, &e) == nil {
 			serr := &ServerError{Code: e.Code, SessionID: e.SessionID, Msg: string(e.Msg)}
 			if s := c.lookup(e.SessionID); s != nil {
-				s.fail(serr)
+				// A server error landing after the session's snapshot
+				// (e.g. unknown-session for a sample sent while the
+				// server was draining it) still ends a resumable stream:
+				// frames arrive in order, so the snapshot is already
+				// stored, and the terminal error should say so.
+				if _, ok := s.Snapshot(); ok {
+					s.fail(fmt.Errorf("%w: %w", ErrResumable, serr))
+				} else {
+					s.fail(serr)
+				}
+				// A session-scoped error is terminal for that session on
+				// the server; unregister it so the same id can be
+				// reopened or resumed on this client.
+				c.forget(s)
 			}
 		}
-	case wire.KindHello, wire.KindSample, wire.KindInvalid:
+	case wire.KindSnapshot:
+		var sn wire.Snapshot
+		if wire.DecodeSnapshot(payload, &sn) == nil {
+			if s := c.lookup(sn.SessionID); s != nil {
+				// Copy out of the decode buffer: the snapshot outlives
+				// the frame (that is its entire purpose).
+				s.storeSnapshot(&SessionSnapshot{
+					SessionID:       sn.SessionID,
+					GranularityUops: s.granularity,
+					Spec:            string(sn.Spec),
+					LastSeq:         sn.LastSeq,
+					Processed:       sn.Processed,
+					Dropped:         sn.Dropped,
+					State:           append([]byte(nil), sn.State...),
+				})
+			}
+		}
+	case wire.KindHello, wire.KindSample, wire.KindRestore, wire.KindInvalid:
 		// Client-to-server kinds (or the unreachable zero kind)
 		// coming back mean a broken peer; drop the connection.
 		c.mu.Lock()
@@ -351,7 +494,14 @@ func (c *Client) teardownLocked(cause error) {
 		err = fmt.Errorf("%w: %v", ErrDisconnected, cause)
 	}
 	for id, s := range c.sessions {
-		s.fail(err)
+		// A session whose snapshot already landed ended by graceful
+		// server drain, not transport failure: its terminal error also
+		// matches ErrResumable so the caller knows to Resume.
+		if _, ok := s.Snapshot(); ok {
+			s.fail(fmt.Errorf("%w: %w", ErrResumable, err))
+		} else {
+			s.fail(err)
+		}
 		delete(c.sessions, id)
 	}
 	c.rollupSess = nil
@@ -424,7 +574,16 @@ func (s *Session) Recv(ctx context.Context) (wire.Prediction, error) {
 		s.fail(err) // re-arm done for any concurrent waiter
 		return wire.Prediction{}, err
 	case <-s.done:
-		return wire.Prediction{}, ErrDisconnected
+		// fail() closes done and buffers the cause; when both arms are
+		// ready the select picks randomly, so check errs explicitly —
+		// the terminal cause (e.g. ErrResumable) must not be lost to
+		// the generic disconnect.
+		select {
+		case err := <-s.errs:
+			return wire.Prediction{}, err
+		default:
+			return wire.Prediction{}, ErrDisconnected
+		}
 	case <-ctx.Done():
 		return wire.Prediction{}, ctx.Err()
 	}
@@ -456,6 +615,29 @@ func (s *Session) Drain(ctx context.Context) (wire.Drain, error) {
 	case <-ctx.Done():
 		return wire.Drain{}, ctx.Err()
 	}
+}
+
+// storeSnapshot records the session's drained state; called by the
+// reader goroutine when the Snapshot frame arrives (always before the
+// session's Drain frame, by the server's emit order).
+func (s *Session) storeSnapshot(snap *SessionSnapshot) {
+	s.snapMu.Lock()
+	s.snap = snap
+	s.snapMu.Unlock()
+}
+
+// Snapshot returns the session's drained predictor state, if the
+// server delivered one. It reports false until the session (opened
+// with OpenResumable or Resume) has drained. The snapshot remains
+// available after the session fails or the client closes — it is the
+// input to Client.Resume on a fresh connection.
+func (s *Session) Snapshot() (SessionSnapshot, bool) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.snap == nil {
+		return SessionSnapshot{}, false
+	}
+	return *s.snap, true
 }
 
 // Pending reports buffered predictions not yet consumed by Recv.

@@ -100,6 +100,17 @@ func (sc *serverConn) writeDrain(d *wire.Drain) error {
 	return sc.flushLocked()
 }
 
+func (sc *serverConn) writeSnapshot(s *wire.Snapshot) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	buf, err := wire.AppendSnapshot(sc.wbuf[:0], s)
+	if err != nil {
+		return err
+	}
+	sc.wbuf = buf
+	return sc.flushLocked()
+}
+
 func (sc *serverConn) writeRollup(r *wire.Rollup) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()

@@ -464,7 +464,11 @@ func (s *Server) readLoop(sc *serverConn) {
 			if !s.handleClientDrain(sc, payload) {
 				return
 			}
-		case wire.KindAck, wire.KindPrediction, wire.KindRollup, wire.KindError, wire.KindInvalid:
+		case wire.KindRestore:
+			if !s.handleRestore(sc, payload) {
+				return
+			}
+		case wire.KindAck, wire.KindPrediction, wire.KindRollup, wire.KindError, wire.KindSnapshot, wire.KindInvalid:
 			// Server-to-client kinds arriving here mean a confused
 			// peer; KindInvalid cannot leave the decoder.
 			s.protoErrs.Inc()
@@ -514,43 +518,53 @@ func (s *Server) handleHello(sc *serverConn, payload []byte) bool {
 		return true
 	}
 	sess := &session{
-		id:        h.SessionID,
-		conn:      sc,
-		mon:       mon,
-		trans:     s.trans,
-		numPhases: s.cfg.Classifier.NumPhases(),
-		queue:     newSampleRing(s.cfg.QueueDepth),
-		state:     StateNegotiating,
+		id:           h.SessionID,
+		conn:         sc,
+		mon:          mon,
+		trans:        s.trans,
+		numPhases:    s.cfg.Classifier.NumPhases(),
+		queue:        newSampleRing(s.cfg.QueueDepth),
+		state:        StateNegotiating,
+		wantSnapshot: h.Flags&wire.FlagSnapshot != 0,
+		spec:         append([]byte(nil), h.Spec...),
 	}
 
+	return s.registerAndAck(sc, sess)
+}
+
+// registerAndAck inserts a negotiated session into the server tables —
+// enforcing the draining gate, duplicate-id, and per-IP limits — then
+// answers the Ack and opens it. Shared by the Hello and Restore paths;
+// it reports whether the connection should stay open.
+func (s *Server) registerAndAck(sc *serverConn, sess *session) bool {
 	s.mu.Lock()
 	switch {
 	case s.draining || s.closed:
 		s.mu.Unlock()
 		s.protoErrs.Inc()
 		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeOverloaded,
-			SessionID: h.SessionID, Msg: []byte("server draining")})
+			SessionID: sess.id, Msg: []byte("server draining")})
 		return false
-	case s.sessions[h.SessionID] != nil:
+	case s.sessions[sess.id] != nil:
 		s.mu.Unlock()
 		s.protoErrs.Inc()
 		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeDuplicateSession,
-			SessionID: h.SessionID, Msg: []byte("session id in use")})
+			SessionID: sess.id, Msg: []byte("session id in use")})
 		return true
 	case s.cfg.MaxSessionsPerIP > 0 && s.perIP[sc.ipKey()] >= s.cfg.MaxSessionsPerIP:
 		s.mu.Unlock()
 		s.protoErrs.Inc()
 		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeSessionLimit,
-			SessionID: h.SessionID, Msg: []byte("per-IP session limit reached")})
+			SessionID: sess.id, Msg: []byte("per-IP session limit reached")})
 		return true
 	}
-	s.sessions[h.SessionID] = sess
+	s.sessions[sess.id] = sess
 	s.perIP[sc.ipKey()]++
 	s.sessionsGauge.Set(float64(len(s.sessions)))
 	s.mu.Unlock()
 	sc.addSession(sess)
 
-	if err := sc.writeAck(&wire.Ack{SessionID: h.SessionID,
+	if err := sc.writeAck(&wire.Ack{SessionID: sess.id,
 		NumPhases: uint8(s.cfg.Classifier.NumPhases())}); err != nil {
 		return false
 	}
@@ -561,6 +575,69 @@ func (s *Server) handleHello(sc *serverConn, payload []byte) bool {
 	}
 	w.mu.Unlock()
 	return true
+}
+
+// handleRestore resumes a session from a client-held snapshot: the
+// predictor is rebuilt from the echoed spec exactly as handleHello
+// would, the monitor's state is restored from the (inner-CRC-verified)
+// blob, the stream position and accounting are seeded from the
+// snapshot, and the session is registered and acked like any other.
+// From the first post-Ack sample the prediction stream continues
+// bit-identically with the drained session's — possibly on a different
+// node, a different worker count, a different worker. A rejected state
+// blob answers CodeBadSnapshot; the connection survives.
+func (s *Server) handleRestore(sc *serverConn, payload []byte) bool {
+	var r wire.Restore
+	if err := wire.DecodeRestore(payload, &r); err != nil {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame, Msg: []byte(err.Error())})
+		return false
+	}
+	spec := string(r.Spec)
+	spec = strings.TrimPrefix(spec, governor.MonitorPrefix)
+	pred, err := core.NewPredictorFromSpec(spec, core.SpecEnv{Classifier: s.cfg.Classifier})
+	if err != nil {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadSpec,
+			SessionID: r.SessionID, Msg: []byte(err.Error())})
+		return true
+	}
+	var opts []core.Option
+	if tel := s.cfg.Telemetry; tel != nil {
+		opts = append(opts, core.WithTelemetry(tel))
+	}
+	mon, err := core.NewMonitor(s.cfg.Classifier, pred, opts...)
+	if err != nil {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadSpec,
+			SessionID: r.SessionID, Msg: []byte(err.Error())})
+		return true
+	}
+	if err := mon.Restore(r.State); err != nil {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadSnapshot,
+			SessionID: r.SessionID, Msg: []byte(err.Error())})
+		return true
+	}
+	lastSeq := r.LastSeq
+	if lastSeq == wire.NoSamples {
+		lastSeq = 0
+	}
+	sess := &session{
+		id:           r.SessionID,
+		conn:         sc,
+		mon:          mon,
+		trans:        s.trans,
+		numPhases:    s.cfg.Classifier.NumPhases(),
+		queue:        newSampleRing(s.cfg.QueueDepth),
+		state:        StateNegotiating,
+		wantSnapshot: true, // a restored session is always re-migratable
+		spec:         append([]byte(nil), r.Spec...),
+		dropped:      r.Dropped,
+		lastSeq:      lastSeq,
+		processed:    r.Processed,
+	}
+	return s.registerAndAck(sc, sess)
 }
 
 // handleRollupHello subscribes the connection to the rollup stream: no

@@ -105,6 +105,16 @@ type session struct {
 	trans     *dvfs.Translation
 	numPhases int
 
+	// wantSnapshot records that the session opened with FlagSnapshot
+	// (or via Restore, which implies it): when the session drains, its
+	// pinned worker emits a Snapshot frame — the monitor's full state —
+	// before the Drain reply. spec is the session's own copy of the
+	// predictor spec it was opened with, echoed in that frame so the
+	// resuming server rebuilds the identical predictor. Both are set
+	// once at open and never written again.
+	wantSnapshot bool
+	spec         []byte
+
 	// Owned by the pinned worker; see the struct comment.
 	state    SessionState // guarded by worker.mu
 	queue    sampleRing   // guarded by worker.mu

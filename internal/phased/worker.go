@@ -25,6 +25,11 @@ type worker struct {
 	runq    []*session // guarded by mu
 	started bool       // guarded by Server.mu
 	stopped bool       // guarded by mu
+
+	// snapBuf is the run goroutine's reusable monitor-state encode
+	// buffer: draining a worker's whole session shard snapshots into
+	// one allocation-amortized scratch slice.
+	snapBuf []byte // owned by the run goroutine
 }
 
 // scheduleLocked puts the session on the runqueue if it is not already
@@ -114,7 +119,21 @@ func (w *worker) run() {
 			// the table slot already free.
 			w.mu.Lock()
 			sess.state = StateClosed
+			droppedNow := sess.dropped
 			w.mu.Unlock()
+			// Snapshot before the Drain reply: the client treats Drain as
+			// the session's last frame, so the state must already be in
+			// its hands. The queue is empty and the state is Closed, so
+			// the monitor is quiescent; the worker goroutine owns it.
+			if sess.wantSnapshot {
+				if state, err := sess.mon.Snapshot(w.snapBuf[:0]); err == nil {
+					w.snapBuf = state
+					snap := wire.Snapshot{SessionID: sess.id, LastSeq: last,
+						Processed: sess.processed, Dropped: droppedNow,
+						Spec: sess.spec, State: state}
+					_ = sess.conn.writeSnapshot(&snap)
+				}
+			}
 			w.srv.unregisterSession(sess)
 			d := wire.Drain{SessionID: sess.id, LastSeq: last}
 			_ = sess.conn.writeDrain(&d)

@@ -165,6 +165,15 @@ func (t Tally) MispredictionRate() (float64, error) {
 // Reset clears the tally.
 func (t *Tally) Reset() { *t = Tally{} }
 
+// TallyFromCounts rebuilds a tally from its exported counts — the
+// import path for snapshot restore, mirroring NewConfusionFromCounts.
+func TallyFromCounts(total, correct int) (Tally, error) {
+	if total < 0 || correct < 0 || correct > total {
+		return Tally{}, fmt.Errorf("stats: tally counts %d/%d invalid", correct, total)
+	}
+	return Tally{total: total, correct: correct}, nil
+}
+
 // MispredictionReduction returns how many times fewer mispredictions
 // "better" makes than "worse" (the paper's "6X fewer mispredictions"
 // comparisons). It returns +Inf when better is perfect and worse is

@@ -18,6 +18,14 @@ func FuzzDecoder(f *testing.F) {
 	f.Add(AppendPrediction(nil, &Prediction{SessionID: 1, Seq: 0, Actual: 1, Next: 2, Class: 2, Setting: 1}))
 	f.Add(AppendDrain(nil, &Drain{SessionID: 1, LastSeq: 99}))
 	f.Add(AppendError(nil, &ErrorFrame{Code: CodeBadFrame, Msg: []byte("boom")}))
+	if b, err := (AppendSnapshot(nil, &Snapshot{SessionID: 1, LastSeq: 10, Processed: 11,
+		Spec: []byte("gpht_8_128"), State: []byte{0x4D, 1, 6, 0, 0}})); err == nil {
+		f.Add(b)
+	}
+	if b, err := (AppendRestore(nil, &Restore{SessionID: 1, GranularityUops: 1e8, Flags: FlagSnapshot,
+		LastSeq: 10, Processed: 11, Spec: []byte("gpht_8_128"), State: []byte{0x4D, 1, 6, 0, 0}})); err == nil {
+		f.Add(b)
+	}
 	f.Add([]byte{0x50, 0x68, 1, 3, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add(bytes.Repeat([]byte{0x50}, 64))
 
@@ -73,6 +81,21 @@ func FuzzDecoder(f *testing.F) {
 				if DecodeError(payload, &e) == nil {
 					re = AppendError(nil, &e)
 				}
+			case KindRollup:
+				var r Rollup
+				if DecodeRollup(payload, &r) == nil {
+					re = AppendRollup(nil, &r)
+				}
+			case KindSnapshot:
+				var s Snapshot
+				if DecodeSnapshot(payload, &s) == nil {
+					re, _ = AppendSnapshot(nil, &s)
+				}
+			case KindRestore:
+				var r Restore
+				if DecodeRestore(payload, &r) == nil {
+					re, _ = AppendRestore(nil, &r)
+				}
 			case KindInvalid:
 				t.Fatalf("decoder accepted KindInvalid")
 			default:
@@ -81,6 +104,75 @@ func FuzzDecoder(f *testing.F) {
 			if re != nil && !bytes.Equal(re, original) {
 				t.Fatalf("re-encoded %v frame differs:\n got %x\nwant %x", kind, re, original)
 			}
+		}
+	})
+}
+
+// FuzzSnapshotDecode feeds arbitrary bytes straight to DecodeSnapshot
+// (bypassing the framing, as a stored snapshot payload would be). The
+// invariants: no panic; on success the declared lengths are consistent,
+// the state blob's CRC verifies, and the payload re-encodes to a frame
+// whose payload equals the input (canonical layout).
+func FuzzSnapshotDecode(f *testing.F) {
+	if b, err := AppendSnapshot(nil, &Snapshot{SessionID: 3, LastSeq: 7, Processed: 8, Dropped: 1,
+		Spec: []byte("fixwindow_128"), State: bytes.Repeat([]byte{0xAB}, 160)}); err == nil {
+		f.Add(b[HeaderSize : len(b)-TrailerSize])
+	}
+	f.Add(make([]byte, snapshotFixed))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var s Snapshot
+		if err := DecodeSnapshot(payload, &s); err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if len(s.Spec)+len(s.State)+snapshotFixed != len(payload) {
+			t.Fatalf("accepted inconsistent lengths: spec %d state %d payload %d",
+				len(s.Spec), len(s.State), len(payload))
+		}
+		re, err := AppendSnapshot(nil, &s)
+		if err != nil {
+			t.Fatalf("accepted payload fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re[HeaderSize:len(re)-TrailerSize], payload) {
+			t.Fatal("snapshot payload is not canonical")
+		}
+	})
+}
+
+// FuzzRestoreDecode is the same contract for Restore payloads — the
+// frame a server decodes from an untrusted client, so the one where
+// robustness matters most.
+func FuzzRestoreDecode(f *testing.F) {
+	if b, err := AppendRestore(nil, &Restore{SessionID: 3, GranularityUops: 1e8, Flags: FlagSnapshot,
+		LastSeq: 7, Processed: 8, Dropped: 1,
+		Spec: []byte("fixwindow_128"), State: bytes.Repeat([]byte{0xAB}, 160)}); err == nil {
+		f.Add(b[HeaderSize : len(b)-TrailerSize])
+	}
+	f.Add(make([]byte, restoreFixed))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var r Restore
+		if err := DecodeRestore(payload, &r); err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if len(r.Spec)+len(r.State)+restoreFixed != len(payload) {
+			t.Fatalf("accepted inconsistent lengths: spec %d state %d payload %d",
+				len(r.Spec), len(r.State), len(payload))
+		}
+		re, err := AppendRestore(nil, &r)
+		if err != nil {
+			t.Fatalf("accepted payload fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re[HeaderSize:len(re)-TrailerSize], payload) {
+			t.Fatal("restore payload is not canonical")
 		}
 	})
 }

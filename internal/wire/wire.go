@@ -3,7 +3,7 @@
 // from monitored nodes to a phase-prediction service and predictions
 // back (DESIGN.md §11).
 //
-// The protocol is deliberately minimal — seven frame kinds over one
+// The protocol is deliberately minimal — nine frame kinds over one
 // TCP stream, multiplexing any number of sessions by an explicit
 // session id — and deliberately cheap: every frame is a fixed 8-byte
 // header,
@@ -45,8 +45,10 @@ const Version1 uint8 = 1
 
 // MaxPayload bounds a single frame's payload. The largest hot-path
 // frame (Sample) is 48 bytes; the bound exists so a corrupted or
-// hostile length field cannot make a reader allocate gigabytes.
-const MaxPayload = 1 << 12
+// hostile length field cannot make a reader allocate gigabytes. It is
+// sized for the largest legitimate frame, a Snapshot carrying a deep
+// GPHT monitor (gpht_8_1024 is ~18.5 KiB of predictor state).
+const MaxPayload = 1 << 16
 
 // Header and trailer sizes of the framing.
 const (
@@ -91,6 +93,18 @@ const (
 	// counts, latency histogram, and the bucket's top sessions.
 	// Emitted on connections that opened with FlagRollup.
 	KindRollup
+	// KindSnapshot hands a session's full predictor state back to the
+	// client (server → client): sent by a draining server, before the
+	// session's Drain frame, for every session that opened with
+	// FlagSnapshot. The state blob carries its own CRC so a stored
+	// snapshot stays verifiable after the framing trailer is gone.
+	KindSnapshot
+	// KindRestore reopens a session from a snapshot (client → server):
+	// a Hello plus the saved predictor state and stream position. The
+	// server rebuilds the predictor from the spec, restores its state,
+	// and answers with an Ack, after which prediction continues
+	// bit-identically with the pre-drain stream.
+	KindRestore
 )
 
 // String names the kind for logs and errors.
@@ -112,13 +126,17 @@ func (k FrameKind) String() string {
 		return "error"
 	case KindRollup:
 		return "rollup"
+	case KindSnapshot:
+		return "snapshot"
+	case KindRestore:
+		return "restore"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // Valid reports whether k is a kind defined by protocol version 1.
-func (k FrameKind) Valid() bool { return k >= KindHello && k <= KindRollup }
+func (k FrameKind) Valid() bool { return k >= KindHello && k <= KindRestore }
 
 // ErrorCode classifies Error frames.
 type ErrorCode uint16
@@ -147,6 +165,10 @@ const (
 	// CodeOverloaded reports a server refusing new sessions while
 	// draining.
 	CodeOverloaded
+	// CodeBadSnapshot reports a Restore whose state blob the rebuilt
+	// predictor refused (wrong family, version skew, geometry mismatch,
+	// corruption). The session is not opened; the connection lives.
+	CodeBadSnapshot
 )
 
 // String names the code.
@@ -168,6 +190,8 @@ func (c ErrorCode) String() string {
 		return "unknown-session"
 	case CodeOverloaded:
 		return "overloaded"
+	case CodeBadSnapshot:
+		return "bad-snapshot"
 	default:
 		return fmt.Sprintf("code(%d)", uint16(c))
 	}
@@ -210,6 +234,12 @@ type Hello struct {
 // server answers with an Ack and thereafter pushes a Rollup frame per
 // flushed aggregation bucket. The Hello's Spec is ignored.
 const FlagRollup uint16 = 1 << 0
+
+// FlagSnapshot, set on a Hello or Restore, asks the server to emit a
+// Snapshot frame for the session — carrying its full predictor state —
+// before the Drain frame when the server drains the session. Sessions
+// opened without it drain stateless, exactly as in earlier releases.
+const FlagSnapshot uint16 = 1 << 1
 
 // Ack accepts a session.
 type Ack struct {
@@ -267,6 +297,51 @@ type Drain struct {
 // NoSamples is the Drain.LastSeq value of a session that never
 // processed a sample.
 const NoSamples = ^uint64(0)
+
+// Snapshot hands a drained session's state back to the client so it
+// can be resumed elsewhere. Spec and State reference the decode buffer
+// when produced by DecodeSnapshot; copy them before the next read if
+// they must outlive the frame.
+//
+// State is opaque to the wire layer — it is the monitor envelope
+// produced by core.(*Monitor).Snapshot — and carries its own CRC-32 in
+// the frame (distinct from the framing trailer), so a snapshot that is
+// stored and replayed later in a Restore is still integrity-checked
+// even though the original frame's trailer is gone.
+type Snapshot struct {
+	SessionID uint64
+	// LastSeq is the highest sample sequence number processed
+	// (NoSamples if none), as in Drain.
+	LastSeq uint64
+	// Processed and Dropped are the session's cumulative served and
+	// shed sample counts; a resumed session continues both.
+	Processed uint64
+	Dropped   uint64
+	// Spec is the predictor spec string the session was serving; the
+	// resuming server rebuilds the same predictor from it.
+	Spec []byte
+	// State is the opaque monitor state blob (core snapshot format,
+	// DESIGN.md §14).
+	State []byte
+}
+
+// Restore reopens a session from a Snapshot: Hello's fields plus the
+// saved state and stream position. Spec and State reference the decode
+// buffer when produced by DecodeRestore.
+type Restore struct {
+	SessionID       uint64
+	GranularityUops uint64
+	// Flags is as in Hello; FlagSnapshot is implied (a restored session
+	// is always snapshot-eligible on its next drain) but may be sent.
+	Flags uint16
+	// LastSeq, Processed, Dropped seed the resumed session's stream
+	// position and accounting from the Snapshot.
+	LastSeq   uint64
+	Processed uint64
+	Dropped   uint64
+	Spec      []byte
+	State     []byte
+}
 
 // ErrorFrame reports a failure. Msg references the decode buffer when
 // produced by DecodeError.
@@ -352,6 +427,11 @@ const (
 	drainSize      = 16
 	helloFixed     = 20 // sessionID + granularity + flags + specLen
 	errorFixed     = 12 // code + sessionID + msgLen
+	// snapshotFixed: sessionID + lastSeq + processed + dropped +
+	// specLen(u16) + stateLen(u32) + stateCRC(u32).
+	snapshotFixed = 42
+	// restoreFixed: snapshotFixed + granularity(u64) + flags(u16).
+	restoreFixed = 52
 	// rollupSize: 7 scalar fields (NodeID..LatSumNs, Shard packed as 4
 	// bytes) + 3 cell grids + latency buckets + top-K pairs.
 	rollupSize = 52 + 3*8*RollupCells + 8*RollupLatBuckets + 16*RollupTopK
@@ -457,6 +537,54 @@ func AppendError(dst []byte, e *ErrorFrame) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
 	dst = append(dst, msg...)
 	return appendCRC(dst, start)
+}
+
+// AppendSnapshot encodes a Snapshot frame onto dst. Unlike the
+// truncating Append functions, an oversized snapshot is an error — a
+// truncated state blob is worse than no snapshot — so the extended
+// slice is returned together with one.
+//
+//lint:hotpath
+func AppendSnapshot(dst []byte, s *Snapshot) ([]byte, error) {
+	if len(s.Spec) > int(^uint16(0)) || snapshotFixed+len(s.Spec)+len(s.State) > MaxPayload {
+		return dst, fmt.Errorf("%w: snapshot spec %d + state %d bytes", ErrTooLarge, len(s.Spec), len(s.State))
+	}
+	start := len(dst)
+	dst = appendHeader(dst, KindSnapshot, snapshotFixed+len(s.Spec)+len(s.State))
+	dst = binary.BigEndian.AppendUint64(dst, s.SessionID)
+	dst = binary.BigEndian.AppendUint64(dst, s.LastSeq)
+	dst = binary.BigEndian.AppendUint64(dst, s.Processed)
+	dst = binary.BigEndian.AppendUint64(dst, s.Dropped)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s.Spec)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s.State)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(s.State))
+	dst = append(dst, s.Spec...)
+	dst = append(dst, s.State...)
+	return appendCRC(dst, start), nil
+}
+
+// AppendRestore encodes a Restore frame onto dst. Oversized snapshots
+// are an error, as in AppendSnapshot.
+//
+//lint:hotpath
+func AppendRestore(dst []byte, r *Restore) ([]byte, error) {
+	if len(r.Spec) > int(^uint16(0)) || restoreFixed+len(r.Spec)+len(r.State) > MaxPayload {
+		return dst, fmt.Errorf("%w: restore spec %d + state %d bytes", ErrTooLarge, len(r.Spec), len(r.State))
+	}
+	start := len(dst)
+	dst = appendHeader(dst, KindRestore, restoreFixed+len(r.Spec)+len(r.State))
+	dst = binary.BigEndian.AppendUint64(dst, r.SessionID)
+	dst = binary.BigEndian.AppendUint64(dst, r.GranularityUops)
+	dst = binary.BigEndian.AppendUint16(dst, r.Flags)
+	dst = binary.BigEndian.AppendUint64(dst, r.LastSeq)
+	dst = binary.BigEndian.AppendUint64(dst, r.Processed)
+	dst = binary.BigEndian.AppendUint64(dst, r.Dropped)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Spec)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.State)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(r.State))
+	dst = append(dst, r.Spec...)
+	dst = append(dst, r.State...)
+	return appendCRC(dst, start), nil
 }
 
 // AppendRollup encodes a Rollup frame onto dst.
@@ -609,6 +737,60 @@ func DecodeError(payload []byte, e *ErrorFrame) error {
 		return fmt.Errorf("%w: error msg length %d in %d-byte payload", ErrShort, n, len(payload))
 	}
 	e.Msg = payload[errorFixed:]
+	return nil
+}
+
+// DecodeSnapshot parses a Snapshot payload and verifies the state
+// blob's inner CRC. s.Spec and s.State alias the payload.
+//
+//lint:hotpath
+func DecodeSnapshot(payload []byte, s *Snapshot) error {
+	if len(payload) < snapshotFixed {
+		return fmt.Errorf("%w: snapshot %d bytes", ErrShort, len(payload))
+	}
+	s.SessionID = binary.BigEndian.Uint64(payload)
+	s.LastSeq = binary.BigEndian.Uint64(payload[8:])
+	s.Processed = binary.BigEndian.Uint64(payload[16:])
+	s.Dropped = binary.BigEndian.Uint64(payload[24:])
+	specLen := int(binary.BigEndian.Uint16(payload[32:]))
+	stateLen := int(binary.BigEndian.Uint32(payload[34:]))
+	stateCRC := binary.BigEndian.Uint32(payload[38:])
+	if len(payload) != snapshotFixed+specLen+stateLen {
+		return fmt.Errorf("%w: snapshot spec %d + state %d in %d-byte payload", ErrShort, specLen, stateLen, len(payload))
+	}
+	s.Spec = payload[snapshotFixed : snapshotFixed+specLen]
+	s.State = payload[snapshotFixed+specLen:]
+	if crc32.ChecksumIEEE(s.State) != stateCRC {
+		return fmt.Errorf("%w: snapshot state checksum", ErrBadCRC)
+	}
+	return nil
+}
+
+// DecodeRestore parses a Restore payload and verifies the state blob's
+// inner CRC. r.Spec and r.State alias the payload.
+//
+//lint:hotpath
+func DecodeRestore(payload []byte, r *Restore) error {
+	if len(payload) < restoreFixed {
+		return fmt.Errorf("%w: restore %d bytes", ErrShort, len(payload))
+	}
+	r.SessionID = binary.BigEndian.Uint64(payload)
+	r.GranularityUops = binary.BigEndian.Uint64(payload[8:])
+	r.Flags = binary.BigEndian.Uint16(payload[16:])
+	r.LastSeq = binary.BigEndian.Uint64(payload[18:])
+	r.Processed = binary.BigEndian.Uint64(payload[26:])
+	r.Dropped = binary.BigEndian.Uint64(payload[34:])
+	specLen := int(binary.BigEndian.Uint16(payload[42:]))
+	stateLen := int(binary.BigEndian.Uint32(payload[44:]))
+	stateCRC := binary.BigEndian.Uint32(payload[48:])
+	if len(payload) != restoreFixed+specLen+stateLen {
+		return fmt.Errorf("%w: restore spec %d + state %d in %d-byte payload", ErrShort, specLen, stateLen, len(payload))
+	}
+	r.Spec = payload[restoreFixed : restoreFixed+specLen]
+	r.State = payload[restoreFixed+specLen:]
+	if crc32.ChecksumIEEE(r.State) != stateCRC {
+		return fmt.Errorf("%w: restore state checksum", ErrBadCRC)
+	}
 	return nil
 }
 

@@ -17,6 +17,11 @@ func TestRoundTripAllKinds(t *testing.T) {
 	drain := Drain{SessionID: 7, LastSeq: 41}
 	errf := ErrorFrame{Code: CodeBadSpec, SessionID: 7, Msg: []byte("no such predictor")}
 	rollup := testRollup()
+	snap := Snapshot{SessionID: 7, LastSeq: 41, Processed: 40, Dropped: 2,
+		Spec: []byte("gpht_8_128"), State: []byte{0x4D, 1, 6, 0, 0}}
+	restore := Restore{SessionID: 7, GranularityUops: 100_000_000, Flags: FlagSnapshot,
+		LastSeq: 41, Processed: 40, Dropped: 2,
+		Spec: []byte("gpht_8_128"), State: []byte{0x4D, 1, 6, 0, 0}}
 
 	buf = AppendHello(buf, &hello)
 	buf = AppendAck(buf, &ack)
@@ -25,9 +30,16 @@ func TestRoundTripAllKinds(t *testing.T) {
 	buf = AppendDrain(buf, &drain)
 	buf = AppendError(buf, &errf)
 	buf = AppendRollup(buf, rollup)
+	var err error
+	if buf, err = AppendSnapshot(buf, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = AppendRestore(buf, &restore); err != nil {
+		t.Fatal(err)
+	}
 
 	d := NewDecoder(bytes.NewReader(buf))
-	wantKinds := []FrameKind{KindHello, KindAck, KindSample, KindPrediction, KindDrain, KindError, KindRollup}
+	wantKinds := []FrameKind{KindHello, KindAck, KindSample, KindPrediction, KindDrain, KindError, KindRollup, KindSnapshot, KindRestore}
 	for i, want := range wantKinds {
 		kind, payload, err := d.Next()
 		if err != nil {
@@ -92,6 +104,27 @@ func TestRoundTripAllKinds(t *testing.T) {
 			}
 			if r != *rollup {
 				t.Errorf("rollup round trip = %+v, want %+v", r, *rollup)
+			}
+		case KindSnapshot:
+			var s Snapshot
+			if err := DecodeSnapshot(payload, &s); err != nil {
+				t.Fatal(err)
+			}
+			if s.SessionID != snap.SessionID || s.LastSeq != snap.LastSeq ||
+				s.Processed != snap.Processed || s.Dropped != snap.Dropped ||
+				string(s.Spec) != string(snap.Spec) || !bytes.Equal(s.State, snap.State) {
+				t.Errorf("snapshot round trip = %+v, want %+v", s, snap)
+			}
+		case KindRestore:
+			var r Restore
+			if err := DecodeRestore(payload, &r); err != nil {
+				t.Fatal(err)
+			}
+			if r.SessionID != restore.SessionID || r.GranularityUops != restore.GranularityUops ||
+				r.Flags != restore.Flags || r.LastSeq != restore.LastSeq ||
+				r.Processed != restore.Processed || r.Dropped != restore.Dropped ||
+				string(r.Spec) != string(restore.Spec) || !bytes.Equal(r.State, restore.State) {
+				t.Errorf("restore round trip = %+v, want %+v", r, restore)
 			}
 		case KindInvalid:
 			t.Fatalf("decoder returned KindInvalid without error")
@@ -166,6 +199,125 @@ func TestRollupCorruption(t *testing.T) {
 	}
 	if err := DecodeRollup(make([]byte, rollupSize+1), &r); !errors.Is(err, ErrShort) {
 		t.Errorf("long rollup: err = %v, want ErrShort", err)
+	}
+}
+
+// testSnapshot builds a Snapshot with a realistically sized state blob.
+func testSnapshot() *Snapshot {
+	state := make([]byte, 2357) // gpht_8_128 monitor envelope size class
+	for i := range state {
+		state[i] = byte(i * 31)
+	}
+	return &Snapshot{SessionID: 9, LastSeq: 299, Processed: 300, Dropped: 1,
+		Spec: []byte("gpht_8_128"), State: state}
+}
+
+// TestSnapshotRestoreCorruption drives the two migration frames
+// through the corruption classes that matter for stored state:
+// framing damage, inner state-CRC damage (with the outer CRC
+// recomputed, so only the inner check can catch it), length lies, and
+// oversize state.
+func TestSnapshotRestoreCorruption(t *testing.T) {
+	snap := testSnapshot()
+	valid, err := AppendSnapshot(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Framing-level damage is caught by the decoder.
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"flipped state bit", func(b []byte) []byte { b[HeaderSize+snapshotFixed+100] ^= 0x01; return b }, ErrBadCRC},
+		{"truncated mid-state", func(b []byte) []byte { return b[:len(b)/2] }, ErrBadFrame},
+		{"bad version", func(b []byte) []byte { b[2] = 9; return b }, ErrBadVersion},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), valid...))
+			if _, _, err := NewDecoder(bytes.NewReader(b)).Next(); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	// Inner-CRC damage: corrupt the state and reseal the outer frame,
+	// simulating a snapshot corrupted at rest and replayed in a
+	// Restore. Only the inner CRC can catch this.
+	t.Run("state corrupted at rest", func(t *testing.T) {
+		payload := append([]byte(nil), valid[HeaderSize:len(valid)-TrailerSize]...)
+		payload[snapshotFixed+len(snap.Spec)+50] ^= 0x40
+		var s Snapshot
+		if err := DecodeSnapshot(payload, &s); !errors.Is(err, ErrBadCRC) {
+			t.Fatalf("err = %v, want ErrBadCRC", err)
+		}
+	})
+
+	// Length lies: declared spec/state lengths disagreeing with the
+	// payload.
+	t.Run("length lies", func(t *testing.T) {
+		payload := append([]byte(nil), valid[HeaderSize:len(valid)-TrailerSize]...)
+		payload[32], payload[33] = 0xFF, 0xFF // specLen
+		var s Snapshot
+		if err := DecodeSnapshot(payload, &s); !errors.Is(err, ErrShort) {
+			t.Fatalf("lying spec length: err = %v, want ErrShort", err)
+		}
+		var r Restore
+		if err := DecodeRestore(make([]byte, restoreFixed-1), &r); !errors.Is(err, ErrShort) {
+			t.Fatalf("short restore: err = %v, want ErrShort", err)
+		}
+		if err := DecodeSnapshot(make([]byte, snapshotFixed-1), &s); !errors.Is(err, ErrShort) {
+			t.Fatalf("short snapshot: err = %v, want ErrShort", err)
+		}
+	})
+
+	// Oversize state is an encode-side error, never a truncation.
+	t.Run("oversize state", func(t *testing.T) {
+		big := &Snapshot{SessionID: 1, Spec: []byte("gpht_8_1024"), State: make([]byte, MaxPayload)}
+		if _, err := AppendSnapshot(nil, big); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("AppendSnapshot oversize: err = %v, want ErrTooLarge", err)
+		}
+		if _, err := AppendRestore(nil, &Restore{Spec: big.Spec, State: big.State}); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("AppendRestore oversize: err = %v, want ErrTooLarge", err)
+		}
+	})
+
+	// Restore framing round-trips through the decoder too.
+	t.Run("restore round trip", func(t *testing.T) {
+		res := &Restore{SessionID: 9, GranularityUops: 1e8, Flags: FlagSnapshot,
+			LastSeq: 299, Processed: 300, Dropped: 1, Spec: snap.Spec, State: snap.State}
+		buf, err := AppendRestore(nil, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind, payload, err := NewDecoder(bytes.NewReader(buf)).Next()
+		if err != nil || kind != KindRestore {
+			t.Fatalf("Next = %v, %v", kind, err)
+		}
+		var r Restore
+		if err := DecodeRestore(payload, &r); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(r.State, res.State) || string(r.Spec) != string(res.Spec) {
+			t.Fatal("restore round trip lost spec or state")
+		}
+	})
+}
+
+// TestSnapshotEncodeZeroAlloc: a draining server snapshots every
+// session it holds; the frame encode must not allocate once the write
+// buffer is warm.
+func TestSnapshotEncodeZeroAlloc(t *testing.T) {
+	snap := testSnapshot()
+	buf := make([]byte, 0, MaxFrameSize)
+	if n := testing.AllocsPerRun(1000, func() {
+		var err error
+		if buf, err = AppendSnapshot(buf[:0], snap); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("snapshot encode allocs/op = %v, want 0", n)
 	}
 }
 
@@ -368,7 +520,7 @@ func TestHotPathZeroAlloc(t *testing.T) {
 			if err := DecodePrediction(payload, &dp); err != nil {
 				t.Fatal(err)
 			}
-		case KindInvalid, KindHello, KindAck, KindDrain, KindError, KindRollup:
+		case KindInvalid, KindHello, KindAck, KindDrain, KindError, KindRollup, KindSnapshot, KindRestore:
 			t.Fatalf("unexpected kind %v", kind)
 		default:
 			t.Fatalf("unknown kind %v", kind)
