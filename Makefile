@@ -84,8 +84,8 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetSweep$$' -benchmem -benchtime=$(BENCHTIME) ./internal/fleet >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkMonitorStepAllocs$$|BenchmarkSnapshotRoundTrip$$' -benchmem -benchtime=$(BENCHTIME) ./internal/core >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkWorkloadCache$$' -benchmem -benchtime=$(BENCHTIME) ./internal/wcache >> out/bench.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkWireRoundTrip$$|BenchmarkRollupEncode$$' -benchmem -benchtime=$(BENCHTIME) ./internal/wire >> out/bench.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkSessionStep$$' -benchmem -benchtime=$(BENCHTIME) ./internal/phased >> out/bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkWireRoundTrip$$|BenchmarkRollupEncode$$|BenchmarkBatchRoundTrip$$' -benchmem -benchtime=$(BENCHTIME) ./internal/wire >> out/bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSessionStep$$|BenchmarkSamplesPerSecPerCore$$' -benchmem -benchtime=$(BENCHTIME) ./internal/phased >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkRollupIngest$$' -benchmem -benchtime=$(BENCHTIME) ./internal/agg >> out/bench.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) out/bench.txt
 	@echo "wrote $(BENCH_JSON)"

@@ -50,6 +50,8 @@ func main() {
 		nodeID       = flag.Uint64("node-id", 0, "node id stamped on emitted Rollup frames")
 		rollupBucket = flag.Duration("rollup-bucket", 0, "rollup time-bucket length (0 = default 1s)")
 		rollupFlush  = flag.Duration("rollup-flush", 0, "rollup flusher period (0 = default 1s)")
+		flushIvl     = flag.Duration("flush-interval", 0, "batched-connection reply coalescing latency bound (0 = default 500µs, negative = flush every prediction)")
+		flushBytes   = flag.Int("flush-bytes", 0, "batched-connection reply coalescing size threshold (0 = default 32KiB)")
 	)
 	flag.Parse()
 	cfg := phased.Config{
@@ -62,6 +64,8 @@ func main() {
 		MaxSessionsPerIP: *perIP,
 		ReadTimeout:      *readTimeout,
 		WriteTimeout:     *writeTimeout,
+		FlushInterval:    *flushIvl,
+		FlushBytes:       *flushBytes,
 	}
 	if err := run(*addr, *metricsAddr, cfg, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "phased: %v\n", err)

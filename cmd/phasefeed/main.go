@@ -16,11 +16,25 @@
 // unprocessed interval — and -check still demands bit-identity across
 // the migration, making phasefeed the live rolling-restart harness.
 //
+// With -batch N the nodes negotiate the batched wire protocol
+// (wire.FlagBatch): samples pack N to a frame and the server coalesces
+// its prediction replies. The prediction stream is bit-identical
+// either way, so -check composes with -batch.
+//
+// With -open the harness switches from windowed lockstep to a true
+// open-loop load generator: nodes stream at the -target aggregate rate
+// (full speed when 0) without bounding samples in flight, and the
+// summary reports the achieved rate, the shed count, and p50/p99 reply
+// latency. Overload sheds samples by design (drop-oldest), which forks
+// the prediction stream from the local run, so -check is disabled in
+// open mode — throughput honesty and bit-identity are separate runs.
+//
 // Usage:
 //
 //	phasefeed -addr HOST:PORT [-nodes 4] [-workload mcf_inp]
 //	          [-intervals 400] [-spec gpht_8_128] [-rate 0]
 //	          [-seed 1] [-check] [-resume] [-timeout 60s]
+//	          [-batch 0] [-flush 500us] [-open] [-target 0]
 package main
 
 import (
@@ -28,8 +42,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"phasemon/internal/dvfs"
@@ -53,6 +70,10 @@ func main() {
 		check     = flag.Bool("check", true, "verify streamed predictions are bit-identical to the local run")
 		resume    = flag.Bool("resume", false, "open resumable sessions and ride out server drains via snapshot/resume")
 		timeout   = flag.Duration("timeout", 60*time.Second, "overall run deadline")
+		batch     = flag.Int("batch", 0, "samples per batch frame (0 or 1 = per-frame wire protocol)")
+		flush     = flag.Duration("flush", 0, "batch flush latency bound (0 = client default 500us)")
+		open      = flag.Bool("open", false, "open-loop mode: no send window; report achieved rate, shed count, reply latency")
+		target    = flag.Float64("target", 0, "open-loop aggregate samples/sec across all nodes (0 = full speed)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -60,7 +81,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	ok, err := run(*addr, *nodes, *profile, *intervals, *spec, *rate, *seed, *check, *resume, *timeout)
+	cfg := feedConfig{
+		addr:   *addr,
+		spec:   *spec,
+		rate:   *rate,
+		check:  *check,
+		resume: *resume,
+		open:   *open,
+		batch:  *batch,
+		flush:  *flush,
+	}
+	if cfg.open {
+		if cfg.check {
+			fmt.Fprintln(os.Stderr, "phasefeed: -check is off in -open mode: overload sheds samples, which by design forks the prediction stream from the local run")
+			cfg.check = false
+		}
+		if *target > 0 && *nodes > 0 {
+			cfg.rate = *target / float64(*nodes)
+		}
+	}
+	ok, err := run(cfg, *nodes, *profile, *intervals, *seed, *timeout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "phasefeed: %v\n", err)
 		os.Exit(1)
@@ -70,21 +110,43 @@ func main() {
 	}
 }
 
+// feedConfig is the per-node streaming configuration.
+type feedConfig struct {
+	addr   string
+	spec   string
+	rate   float64 // samples per second per node; 0 = full speed
+	check  bool
+	resume bool
+	open   bool
+	batch  int
+	flush  time.Duration
+}
+
 // nodeResult is one node's outcome.
 type nodeResult struct {
 	samples     int
+	sent        int
 	predictions int
 	mismatches  int
 	dropped     uint64
 	err         error
+
+	// Open-loop measurements: per-sample send stamps (indexed by
+	// sequence number, written with atomics — the receive side reads
+	// them without any other synchronization edge), reply latencies,
+	// and the stream's wall-clock span.
+	sendNs      []int64
+	latNs       []int64
+	firstSendNs int64
+	lastRecvNs  int64
 }
 
-func run(addr string, nodes int, profileName string, intervals int, spec string, rate float64, seed int64, check, resume bool, timeout time.Duration) (bool, error) {
+func run(cfg feedConfig, nodes int, profileName string, intervals int, seed int64, timeout time.Duration) (bool, error) {
 	prof, err := workload.ByName(profileName)
 	if err != nil {
 		return false, err
 	}
-	pol, err := governor.PolicyFromSpec(governor.MonitorPrefix + spec)
+	pol, err := governor.PolicyFromSpec(governor.MonitorPrefix + cfg.spec)
 	if err != nil {
 		return false, err
 	}
@@ -104,14 +166,16 @@ func run(addr string, nodes int, profileName string, intervals int, spec string,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = feedNode(ctx, addr, uint64(i+1), prof, cache,
+			results[i] = feedNode(ctx, cfg, uint64(i+1), prof, cache,
 				workload.Params{Seed: seed + int64(i), Intervals: intervals},
-				pol, trans, spec, rate, check, resume)
+				pol, trans)
 		}(i)
 	}
 	wg.Wait()
 
 	var total nodeResult
+	var lats []int64
+	var aggRate float64
 	ok := true
 	for i, r := range results {
 		if r.err != nil {
@@ -119,23 +183,104 @@ func run(addr string, nodes int, profileName string, intervals int, spec string,
 			ok = false
 		}
 		total.samples += r.samples
+		total.sent += r.sent
 		total.predictions += r.predictions
 		total.mismatches += r.mismatches
 		total.dropped += r.dropped
+		lats = append(lats, r.latNs...)
+		if span := r.lastRecvNs - r.firstSendNs; span > 0 && r.sent > 0 {
+			aggRate += float64(r.sent) / (float64(span) / 1e9)
+		}
 	}
-	if total.mismatches > 0 || (check && total.dropped > 0) {
+	if total.mismatches > 0 || (cfg.check && total.dropped > 0) {
 		ok = false
+	}
+	if cfg.open {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("phasefeed: open-loop nodes=%d sent=%d answered=%d shed=%d achieved=%.0f/s p50=%v p99=%v ok=%v\n",
+			nodes, total.sent, total.predictions, total.dropped, aggRate,
+			percentileNs(lats, 50), percentileNs(lats, 99), ok)
+		return ok, nil
 	}
 	fmt.Printf("phasefeed: nodes=%d samples=%d predictions=%d mismatches=%d dropped=%d ok=%v\n",
 		nodes, total.samples, total.predictions, total.mismatches, total.dropped, ok)
 	return ok, nil
 }
 
+// pacer bounds a sender to rate samples/sec without one timer wakeup
+// per sample: each wait releases however many sends the elapsed wall
+// clock is owed, so pacing stays accurate far past the runtime's
+// timer resolution (a per-sample ticker tops out at a few kHz — its
+// channel holds one tick, so every missed wakeup is a lost send).
+type pacer struct {
+	rate  float64
+	start time.Time
+	sent  int64
+	tick  *time.Ticker
+}
+
+// newPacer returns a pacer for rate samples/sec; nil (unpaced) when
+// rate is zero or negative.
+func newPacer(rate float64) *pacer {
+	if rate <= 0 {
+		return nil
+	}
+	return &pacer{rate: rate, start: time.Now(), tick: time.NewTicker(time.Millisecond)}
+}
+
+func (p *pacer) stop() {
+	if p != nil {
+		p.tick.Stop()
+	}
+}
+
+// wait blocks until the next send is within the rate budget, or ctx
+// ends; a nil pacer never blocks.
+func (p *pacer) wait(ctx context.Context) error {
+	if p == nil {
+		return nil
+	}
+	for {
+		owed := int64(p.rate*time.Since(p.start).Seconds()) - p.sent
+		// Forgive debt beyond 10 ms of budget: a long scheduling stall
+		// must not discharge as one queue-blasting catch-up burst.
+		if burst := int64(p.rate * 0.01); burst > 0 && owed > burst {
+			p.sent += owed - burst
+			owed = burst
+		}
+		if owed > 0 {
+			p.sent++
+			return nil
+		}
+		select {
+		case <-p.tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// percentileNs reads the pth percentile from ascending-sorted
+// nanosecond latencies.
+func percentileNs(sorted []int64, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return time.Duration(sorted[i])
+}
+
 // feedNode runs one simulated node: local governed run, then stream
 // and (optionally) verify. With resume, a server drain mid-stream is
 // survived by resuming the session from its snapshot and continuing
 // from the next unprocessed interval.
-func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profile, cache *wcache.Cache, params workload.Params, pol governor.Policy, trans *dvfs.Translation, spec string, rate float64, check, resume bool) nodeResult {
+func feedNode(ctx context.Context, cfg feedConfig, id uint64, prof *workload.Profile, cache *wcache.Cache, params workload.Params, pol governor.Policy, trans *dvfs.Translation) nodeResult {
 	var res nodeResult
 	trace := cache.Get(prof, params)
 	local, err := governor.RunContext(ctx, trace.Generator(), pol, governor.Config{})
@@ -149,13 +294,18 @@ func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profil
 		return res
 	}
 
-	cl := phaseclient.New(phaseclient.Config{Addr: addr, MaxAttempts: 8})
+	cl := phaseclient.New(phaseclient.Config{
+		Addr:          cfg.addr,
+		MaxAttempts:   8,
+		BatchSize:     cfg.batch,
+		FlushInterval: cfg.flush,
+	})
 	defer cl.Close()
 	open := cl.Open
-	if resume {
+	if cfg.resume {
 		open = cl.OpenResumable
 	}
-	sess, _, err := open(ctx, id, spec, 100e6)
+	sess, _, err := open(ctx, id, cfg.spec, 100e6)
 	if err != nil {
 		res.err = fmt.Errorf("open: %w", err)
 		return res
@@ -163,7 +313,12 @@ func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profil
 
 	start := 0
 	for {
-		err := streamRange(ctx, sess, log, start, trans, rate, check, &res)
+		var err error
+		if cfg.open {
+			err = streamOpen(ctx, sess, log, start, cfg.rate, &res)
+		} else {
+			err = streamRange(ctx, sess, log, start, trans, cfg.rate, cfg.check, &res)
+		}
 		if err == nil {
 			break
 		}
@@ -173,7 +328,7 @@ func feedNode(ctx context.Context, addr string, id uint64, prof *workload.Profil
 		// is the gate: the terminal error can surface either as the
 		// wrapped ErrResumable or as a late server error frame.
 		snap, ok := sess.Snapshot()
-		if !resume || !ok {
+		if !cfg.resume || !ok {
 			res.err = err
 			return res
 		}
@@ -242,20 +397,13 @@ func streamRange(ctx context.Context, sess *phaseclient.Session, log []kernelsim
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	go func() {
-		var tick *time.Ticker
-		if rate > 0 {
-			tick = time.NewTicker(time.Duration(float64(time.Second) / rate))
-			defer tick.Stop()
-		}
+		pace := newPacer(rate)
+		defer pace.stop()
 		for i := start; i < len(log); i++ {
 			e := log[i]
-			if tick != nil {
-				select {
-				case <-tick.C:
-				case <-sctx.Done():
-					sendErr <- sctx.Err()
-					return
-				}
+			if err := pace.wait(sctx); err != nil {
+				sendErr <- err
+				return
 			}
 			select {
 			case tokens <- struct{}{}:
@@ -272,6 +420,7 @@ func streamRange(ctx context.Context, sess *phaseclient.Session, log []kernelsim
 				sendErr <- fmt.Errorf("send #%d: %w", i, err)
 				return
 			}
+			res.sent++
 		}
 		sendErr <- nil
 	}()
@@ -301,6 +450,68 @@ func streamRange(ctx context.Context, sess *phaseclient.Session, log []kernelsim
 			res.mismatches += verify(&p, log, trans)
 		}
 		if p.Seq == uint64(len(log)-1) {
+			break
+		}
+	}
+	return <-sendErr
+}
+
+// streamOpen streams log[start:] without a send window — the server's
+// drop-oldest queue, not sender lockstep, absorbs overload — pacing at
+// rate samples/sec (full speed when 0), and measures the reply latency
+// of every answered prediction. Termination matches streamRange:
+// drop-oldest always keeps the newest sample, so the final sequence
+// number is always answered.
+func streamOpen(ctx context.Context, sess *phaseclient.Session, log []kernelsim.Entry, start int, rate float64, res *nodeResult) error {
+	if res.sendNs == nil {
+		res.sendNs = make([]int64, len(log))
+	}
+	sendErr := make(chan error, 1)
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		pace := newPacer(rate)
+		defer pace.stop()
+		for i := start; i < len(log); i++ {
+			e := log[i]
+			if err := pace.wait(sctx); err != nil {
+				sendErr <- err
+				return
+			}
+			atomic.StoreInt64(&res.sendNs[i], time.Now().UnixNano())
+			if err := sess.Send(wire.Sample{
+				Seq:    uint64(i),
+				Uops:   e.Uops,
+				MemTx:  e.MemTx,
+				Cycles: e.Cycles,
+			}); err != nil {
+				sendErr <- fmt.Errorf("send #%d: %w", i, err)
+				return
+			}
+			res.sent++
+		}
+		sendErr <- nil
+	}()
+
+	if res.firstSendNs == 0 {
+		res.firstSendNs = time.Now().UnixNano()
+	}
+	for {
+		p, err := sess.Recv(ctx)
+		if err != nil {
+			cancel()
+			return fmt.Errorf("recv after %d predictions: %w", res.predictions, err)
+		}
+		now := time.Now().UnixNano()
+		res.predictions++
+		res.dropped = p.Dropped
+		if i := int(p.Seq); i < len(log) {
+			if sent := atomic.LoadInt64(&res.sendNs[i]); sent > 0 {
+				res.latNs = append(res.latNs, now-sent)
+			}
+		}
+		if p.Seq == uint64(len(log)-1) {
+			res.lastRecvNs = now
 			break
 		}
 	}

@@ -39,7 +39,7 @@ func missingStatus(s fleet.Status) bool {
 }
 
 func missingFrameKinds(k wire.FrameKind) int {
-	switch k { // want `switch over wire.FrameKind is not exhaustive: missing KindInvalid, KindAck, KindPrediction, KindDrain, KindError, KindRollup, KindSnapshot, KindRestore`
+	switch k { // want `switch over wire.FrameKind is not exhaustive: missing KindInvalid, KindAck, KindPrediction, KindDrain, KindError, KindRollup, KindSnapshot, KindRestore, KindBatch`
 	case wire.KindHello:
 		return 1
 	case wire.KindSample:

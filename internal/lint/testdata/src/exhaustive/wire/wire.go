@@ -14,4 +14,5 @@ const (
 	KindRollup
 	KindSnapshot
 	KindRestore
+	KindBatch
 )

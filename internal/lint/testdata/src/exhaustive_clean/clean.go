@@ -86,6 +86,8 @@ func fullFrameKind(k wire.FrameKind) string {
 		return "snapshot"
 	case wire.KindRestore:
 		return "restore"
+	case wire.KindBatch:
+		return "batch"
 	}
 	return "unknown"
 }

@@ -85,7 +85,24 @@ type Config struct {
 	// Window is each session's prediction receive buffer (frames the
 	// reader can stay ahead of Recv). Zero selects 1024.
 	Window int
+	// BatchSize enables sample batching when above 1: Send buffers
+	// samples and writes one wire.KindBatch frame per BatchSize
+	// samples — or sooner, when FlushInterval expires or a control
+	// frame needs the wire. The client asks for wire.FlagBatch in its
+	// Hello and batches only after the server's Ack echoes the flag,
+	// so v1 servers keep seeing per-frame samples. Values above
+	// wire.MaxBatchSamples are clamped; 0 or 1 means per-frame sends
+	// (OpenBatched then batches at DefaultBatchSize).
+	BatchSize int
+	// FlushInterval bounds how long a buffered sample may wait before
+	// its batch flushes. Zero selects 500µs; negative flushes on
+	// every Send (batch framing without added latency).
+	FlushInterval time.Duration
 }
+
+// DefaultBatchSize is the samples-per-batch threshold used by a
+// batching session when Config.BatchSize does not name one.
+const DefaultBatchSize = 64
 
 func (c Config) withDefaults() Config {
 	if c.DialTimeout <= 0 {
@@ -103,6 +120,12 @@ func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
 		c.Window = 1024
 	}
+	if c.BatchSize > wire.MaxBatchSamples {
+		c.BatchSize = wire.MaxBatchSamples
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 500 * time.Microsecond
+	}
 	return c
 }
 
@@ -112,12 +135,26 @@ func (c Config) withDefaults() Config {
 type Client struct {
 	cfg Config
 
+	// batchLimit is the effective samples-per-batch flush threshold,
+	// fixed at construction.
+	batchLimit int
+
 	mu       sync.Mutex
 	conn     net.Conn            // guarded by mu
 	wbuf     []byte              // guarded by mu
 	sessions map[uint64]*Session // guarded by mu
 	closed   bool                // guarded by mu
 	rng      *rand.Rand          // guarded by mu
+
+	// Sample-batching state. batched flips on when an Ack echoes
+	// wire.FlagBatch for the current connection and off at teardown;
+	// pend holds buffered samples awaiting the size threshold, the
+	// flush timer, or a control write. wantBatch records that some
+	// session negotiated batching, so Resume re-asks for it.
+	batched   bool          // guarded by mu
+	wantBatch bool          // guarded by mu
+	pend      []wire.Sample // guarded by mu
+	pendTimer *time.Timer   // guarded by mu; fires flushExpired
 
 	// Rollup frames carry a node id, not a session id, so the reader
 	// routes them to the connection's single subscription rather than
@@ -129,9 +166,14 @@ type Client struct {
 // New builds a client; no connection is made until the first Open.
 func New(cfg Config) *Client {
 	cfg = cfg.withDefaults()
+	limit := cfg.BatchSize
+	if limit <= 1 {
+		limit = DefaultBatchSize
+	}
 	return &Client{
-		cfg:      cfg,
-		sessions: make(map[uint64]*Session),
+		cfg:        cfg,
+		batchLimit: limit,
+		sessions:   make(map[uint64]*Session),
 		// Jitter decorrelates a fleet of reconnecting clients; it has
 		// no bearing on prediction determinism, which lives entirely
 		// server-side.
@@ -199,14 +241,32 @@ func (c *Client) OpenResumable(ctx context.Context, id uint64, spec string, gran
 	return c.open(ctx, id, spec, granularityUops, wire.FlagSnapshot)
 }
 
+// OpenBatched is Open with wire.FlagBatch set: once the server's Ack
+// echoes the flag, Send packs samples into batch frames (Config.
+// BatchSize per frame, DefaultBatchSize when unset) and the server
+// coalesces its prediction replies the same way. The prediction
+// stream is bit-identical to an unbatched session's; only the framing
+// and syscall count change.
+func (c *Client) OpenBatched(ctx context.Context, id uint64, spec string, granularityUops uint64) (sess *Session, numPhases int, err error) {
+	return c.open(ctx, id, spec, granularityUops, wire.FlagBatch)
+}
+
 func (c *Client) open(ctx context.Context, id uint64, spec string, granularityUops uint64, flags uint16) (*Session, int, error) {
+	if c.cfg.BatchSize > 1 {
+		flags |= wire.FlagBatch
+	}
+	if flags&wire.FlagBatch != 0 {
+		c.mu.Lock()
+		c.wantBatch = true
+		c.mu.Unlock()
+	}
 	s, err := c.handshake(ctx, id, granularityUops, func(b []byte) ([]byte, error) {
 		return wire.AppendHello(b, &wire.Hello{
 			SessionID:       id,
 			GranularityUops: granularityUops,
 			Flags:           flags,
 			Spec:            []byte(spec),
-		}), nil
+		})
 	})
 	if err != nil {
 		return nil, 0, err
@@ -221,11 +281,18 @@ func (c *Client) open(ctx context.Context, id uint64, spec string, granularityUo
 // happened, including on a different node or worker layout. The
 // resumed session is itself resumable on the next drain.
 func (c *Client) Resume(ctx context.Context, snap SessionSnapshot) (sess *Session, numPhases int, err error) {
+	flags := uint16(wire.FlagSnapshot)
+	c.mu.Lock()
+	if c.wantBatch || c.cfg.BatchSize > 1 {
+		c.wantBatch = true
+		flags |= wire.FlagBatch
+	}
+	c.mu.Unlock()
 	s, err := c.handshake(ctx, snap.SessionID, snap.GranularityUops, func(b []byte) ([]byte, error) {
 		return wire.AppendRestore(b, &wire.Restore{
 			SessionID:       snap.SessionID,
 			GranularityUops: snap.GranularityUops,
-			Flags:           wire.FlagSnapshot,
+			Flags:           flags,
 			LastSeq:         snap.LastSeq,
 			Processed:       snap.Processed,
 			Dropped:         snap.Dropped,
@@ -314,6 +381,12 @@ func (c *Client) dialLocked(ctx context.Context) (net.Conn, error) {
 	for attempt := 1; ; attempt++ {
 		conn, err := d.DialContext(ctx, "tcp", c.cfg.Addr)
 		if err == nil {
+			// The batching path coalesces explicitly under FlushInterval;
+			// Nagle's algorithm would stack a second, unaccounted delay
+			// on top of it (and on every per-frame send).
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetNoDelay(true)
+			}
 			return conn, nil
 		}
 		if c.cfg.MaxAttempts > 0 && attempt >= c.cfg.MaxAttempts {
@@ -336,10 +409,14 @@ func (c *Client) dialLocked(ctx context.Context) (net.Conn, error) {
 }
 
 // writeLocked encodes a frame into the shared buffer and writes it;
-// callers hold c.mu.
+// callers hold c.mu. Buffered samples flush first, so a control frame
+// (Hello, Drain) can never overtake the samples sent before it.
 func (c *Client) writeLocked(encode func([]byte) []byte) error {
 	if c.conn == nil {
 		return ErrDisconnected
+	}
+	if err := c.flushPendLocked(); err != nil {
+		return err
 	}
 	c.wbuf = encode(c.wbuf[:0])
 	if d := c.cfg.WriteTimeout; d > 0 {
@@ -353,6 +430,46 @@ func (c *Client) writeLocked(encode func([]byte) []byte) error {
 		return ErrDisconnected
 	}
 	return nil
+}
+
+// flushPendLocked writes the buffered sample batch as one KindBatch
+// frame under the write deadline; callers hold c.mu. A write failure
+// tears the connection down, exactly as a per-frame send would.
+//
+//lint:hotpath
+func (c *Client) flushPendLocked() error {
+	if len(c.pend) == 0 || c.conn == nil {
+		return nil
+	}
+	if c.pendTimer != nil {
+		c.pendTimer.Stop()
+	}
+	buf, err := wire.AppendBatchSamples(c.wbuf[:0], c.pend)
+	c.pend = c.pend[:0]
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf
+	if d := c.cfg.WriteTimeout; d > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			c.teardownLocked(err)
+			return ErrDisconnected
+		}
+	}
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		c.teardownLocked(err)
+		return ErrDisconnected
+	}
+	return nil
+}
+
+// flushExpired is the batch flush timer's callback: the latency bound
+// on a partially filled batch expired. Write failures tear the
+// connection down inside flushPendLocked.
+func (c *Client) flushExpired() {
+	c.mu.Lock()
+	_ = c.flushPendLocked()
+	c.mu.Unlock()
 }
 
 // readLoop demultiplexes server frames to sessions until the
@@ -384,6 +501,17 @@ func (c *Client) demux(conn net.Conn, kind wire.FrameKind, payload []byte) bool 
 	case wire.KindAck:
 		var a wire.Ack
 		if wire.DecodeAck(payload, &a) == nil {
+			// The batch flag must be live before the Ack is delivered:
+			// the opener's first Send races this frame, and a sample
+			// sent per-frame after a batched Ack is legal while the
+			// reverse (batch frame before negotiation) is not.
+			if a.Flags&wire.FlagBatch != 0 {
+				c.mu.Lock()
+				if c.conn == conn {
+					c.batched = true
+				}
+				c.mu.Unlock()
+			}
 			if s := c.lookup(a.SessionID); s != nil {
 				select {
 				case s.acks <- a:
@@ -462,6 +590,28 @@ func (c *Client) demux(conn net.Conn, kind wire.FrameKind, payload []byte) bool 
 				})
 			}
 		}
+	case wire.KindBatch:
+		elem, n, recs, err := wire.DecodeBatch(payload)
+		if err != nil || elem != wire.KindPrediction {
+			c.mu.Lock()
+			if c.conn == conn {
+				c.teardownLocked(fmt.Errorf("phaseclient: bad %v batch from server: %v", elem, err))
+			}
+			c.mu.Unlock()
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var p wire.Prediction
+			if wire.DecodePrediction(recs[i*wire.PredictionRecordSize:(i+1)*wire.PredictionRecordSize], &p) != nil {
+				continue
+			}
+			if s := c.lookup(p.SessionID); s != nil {
+				select {
+				case s.preds <- p:
+				case <-s.done:
+				}
+			}
+		}
 	case wire.KindHello, wire.KindSample, wire.KindRestore, wire.KindInvalid:
 		// Client-to-server kinds (or the unreachable zero kind)
 		// coming back mean a broken peer; drop the connection.
@@ -488,6 +638,14 @@ func (c *Client) teardownLocked(cause error) {
 	if c.conn != nil {
 		_ = c.conn.Close()
 		c.conn = nil
+	}
+	// Batching is per-connection state: buffered samples die with the
+	// conn (their sessions are failing below), and the next connection
+	// renegotiates from scratch.
+	c.pend = c.pend[:0]
+	c.batched = false
+	if c.pendTimer != nil {
+		c.pendTimer.Stop()
 	}
 	err := ErrDisconnected
 	if cause != nil {
@@ -549,6 +707,10 @@ func (s *Session) fail(err error) {
 }
 
 // Send streams one sample. The session id is stamped by the client.
+// On a connection that negotiated batching, the sample is buffered
+// and flushed with its batch (size threshold, FlushInterval, or the
+// next control frame — whichever comes first); otherwise it is
+// written as its own frame immediately.
 func (s *Session) Send(smp wire.Sample) error {
 	smp.SessionID = s.id
 	s.c.mu.Lock()
@@ -556,7 +718,35 @@ func (s *Session) Send(smp wire.Sample) error {
 	if s.c.sessions[s.id] != s {
 		return ErrDisconnected
 	}
+	if s.c.batched {
+		return s.c.sendBatchedLocked(&smp)
+	}
 	return s.c.writeLocked(func(b []byte) []byte { return wire.AppendSample(b, &smp) })
+}
+
+// sendBatchedLocked buffers one sample toward the next batch flush;
+// callers hold c.mu. The flush timer is created stopped, once, on the
+// first batched send of the client's lifetime; afterwards the path is
+// append, compare, and (on a fresh batch) one timer Reset.
+func (c *Client) sendBatchedLocked(smp *wire.Sample) error {
+	if c.conn == nil {
+		return ErrDisconnected
+	}
+	c.pend = append(c.pend, *smp)
+	if len(c.pend) == 1 {
+		if c.pendTimer == nil {
+			t := time.AfterFunc(time.Hour, c.flushExpired)
+			t.Stop()
+			c.pendTimer = t
+		}
+		if iv := c.cfg.FlushInterval; iv > 0 {
+			c.pendTimer.Reset(iv)
+		}
+	}
+	if len(c.pend) >= c.batchLimit || c.cfg.FlushInterval < 0 {
+		return c.flushPendLocked()
+	}
+	return nil
 }
 
 // Recv returns the next prediction, blocking until one arrives, the
@@ -698,7 +888,10 @@ func (c *Client) SubscribeRollups(ctx context.Context, id uint64) (*RollupSub, e
 	c.sessions[id] = s
 	c.rollupSess, c.rollupCh = s, ch
 	err := c.writeLocked(func(b []byte) []byte {
-		return wire.AppendHello(b, &wire.Hello{SessionID: id, Flags: wire.FlagRollup})
+		// An empty spec cannot exceed MaxPayload, so the encode error
+		// is structurally impossible here.
+		out, _ := wire.AppendHello(b, &wire.Hello{SessionID: id, Flags: wire.FlagRollup})
+		return out
 	})
 	c.mu.Unlock()
 	if err != nil {

@@ -102,11 +102,14 @@ func scriptedDrainServer(ln net.Listener, id uint64) error {
 	if err != nil {
 		return err
 	}
-	buf = wire.AppendError(buf, &wire.ErrorFrame{
+	buf, err = wire.AppendError(buf, &wire.ErrorFrame{
 		Code:      wire.CodeUnknownSession,
 		SessionID: id,
 		Msg:       []byte("late sample"),
 	})
+	if err != nil {
+		return err
+	}
 	if _, err := conn.Write(buf); err != nil {
 		return err
 	}

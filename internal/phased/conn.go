@@ -10,15 +10,39 @@ import (
 
 // serverConn wraps one accepted connection. Frame writes from the
 // reader goroutine (Acks, Errors) and the workers (Predictions,
-// Drains) interleave on it, serialized by wmu; the write buffer is
+// Drains) interleave on it, serialized by wmu; the write buffers are
 // reused across frames so the steady-state write path allocates
 // nothing.
+//
+// On a connection that negotiated FlagBatch, predictions are not
+// written one frame at a time: they accumulate in preds and flush as
+// one KindBatch frame when the batch reaches the server's size
+// threshold, when the FlushInterval timer expires, or when a control
+// frame (Ack, Drain, Snapshot, Error, Rollup) needs the wire — the
+// control write first flushes the pending batch in the same writev,
+// so frame order on the wire matches write order. TCP_NODELAY is set
+// on every accepted connection: the coalescer replaces Nagle's
+// algorithm with an explicit, bounded latency budget instead of
+// stacking the kernel's delay on top of ours.
 type serverConn struct {
 	srv *Server
 	c   net.Conn
 
-	wmu  sync.Mutex
+	wmu sync.Mutex
+	// wbuf holds the pending control frame.
 	wbuf []byte // guarded by wmu
+
+	// Write coalescer state, all under wmu. The buffers are allocated
+	// once in enableBatch (cold) and reused by every flush; preds is
+	// the pending reply batch, bbuf its frame encode buffer, vecs the
+	// reusable writev vector, firstPendNs when preds[0] was buffered.
+	batched     bool              // guarded by wmu
+	preds       []wire.Prediction // guarded by wmu
+	bbuf        []byte            // guarded by wmu
+	vecs        net.Buffers       // guarded by wmu
+	wvec        net.Buffers       // guarded by wmu
+	flushTimer  *time.Timer       // guarded by wmu
+	firstPendNs int64             // guarded by wmu
 
 	smu      sync.Mutex
 	sessions []*session // guarded by smu
@@ -36,7 +60,17 @@ func (sc *serverConn) ipKey() string {
 }
 
 func (sc *serverConn) close() {
-	sc.closeOnce.Do(func() { _ = sc.c.Close() })
+	sc.closeOnce.Do(func() {
+		// Close the socket first: it unblocks any writer stuck in a
+		// Write under wmu, so the lock below cannot deadlock behind a
+		// stalled peer.
+		_ = sc.c.Close()
+		sc.wmu.Lock()
+		if sc.flushTimer != nil {
+			sc.flushTimer.Stop()
+		}
+		sc.wmu.Unlock()
+	})
 }
 
 func (sc *serverConn) addSession(sess *session) {
@@ -66,17 +100,88 @@ func (sc *serverConn) takeSessions() []*session {
 	return out
 }
 
-// flushLocked writes the encoded frame sitting in wbuf under the write
-// deadline; callers hold wmu.
+// enableBatch switches the connection to coalesced reply writes; it
+// runs once, from the Hello/Restore handshake, before any prediction
+// can be pending. The flush timer is created stopped — the hot path
+// only ever Resets it.
+func (sc *serverConn) enableBatch() {
+	sc.wmu.Lock()
+	if !sc.batched {
+		sc.batched = true
+		sc.preds = make([]wire.Prediction, 0, sc.srv.flushThreshold)
+		sc.bbuf = make([]byte, 0, sc.srv.flushThreshold*wire.PredictionRecordSize+wire.BatchOverhead)
+		sc.vecs = make(net.Buffers, 0, 2)
+		t := time.AfterFunc(time.Hour, sc.flushExpired)
+		t.Stop()
+		sc.flushTimer = t
+	}
+	sc.wmu.Unlock()
+}
+
+// flushExpired is the flush timer's callback: the latency bound on a
+// partially filled batch has expired, so write it out now. A write
+// failure tears the connection down exactly as it would on the worker
+// path (dropConn must run outside wmu).
+func (sc *serverConn) flushExpired() {
+	sc.wmu.Lock()
+	err := sc.flushLocked()
+	sc.wmu.Unlock()
+	if err != nil {
+		sc.srv.dropConn(sc)
+	}
+}
+
+// flushLocked writes everything pending — the coalesced prediction
+// batch, the control frame in wbuf, or both in one writev — under the
+// write deadline, then clears both buffers so a later timer-driven
+// flush can never re-send stale bytes. Callers hold wmu.
+//
+//lint:hotpath
 func (sc *serverConn) flushLocked() error {
+	nb := len(sc.preds)
+	if nb == 0 && len(sc.wbuf) == 0 {
+		return nil
+	}
+	if nb > 0 {
+		var err error
+		sc.bbuf, err = wire.AppendBatchPredictions(sc.bbuf[:0], sc.preds)
+		if err != nil {
+			return err
+		}
+	}
 	if d := sc.srv.cfg.WriteTimeout; d > 0 {
 		_ = sc.c.SetWriteDeadline(time.Now().Add(d))
 	}
-	_, err := sc.c.Write(sc.wbuf)
-	if err == nil {
-		sc.srv.framesOut.Inc()
+	var err error
+	frames := uint64(1)
+	if nb > 0 {
+		sc.vecs = append(sc.vecs[:0], sc.bbuf)
+		if len(sc.wbuf) > 0 {
+			sc.vecs = append(sc.vecs, sc.wbuf)
+			frames = 2
+		}
+		// WriteTo consumes the net.Buffers it is called on, so it runs
+		// on wvec, a scratch copy of the header: vecs keeps the reusable
+		// backing array, and a field (unlike a local, which escapes via
+		// the pointer receiver) costs no allocation.
+		sc.wvec = sc.vecs
+		_, err = sc.wvec.WriteTo(sc.c)
+	} else {
+		_, err = sc.c.Write(sc.wbuf)
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	sc.srv.framesOut.Add(frames)
+	sc.wbuf = sc.wbuf[:0]
+	if nb > 0 {
+		sc.preds = sc.preds[:0]
+		sc.flushTimer.Stop()
+		sc.srv.flushes.Inc()
+		sc.srv.flushFrames.Observe(float64(nb))
+		sc.srv.flushSeconds.Observe(float64(time.Now().UnixNano()-sc.firstPendNs) / 1e9)
+	}
+	return nil
 }
 
 func (sc *serverConn) writeAck(a *wire.Ack) error {
@@ -86,11 +191,30 @@ func (sc *serverConn) writeAck(a *wire.Ack) error {
 	return sc.flushLocked()
 }
 
+// writePrediction is the worker pool's reply path. Unbatched
+// connections get the v1 behavior: one frame, one write. Batched
+// connections buffer the prediction and flush on the size threshold;
+// the latency bound is the flush timer armed when the batch opens.
+//
+//lint:hotpath
 func (sc *serverConn) writePrediction(p *wire.Prediction) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
-	sc.wbuf = wire.AppendPrediction(sc.wbuf[:0], p)
-	return sc.flushLocked()
+	if !sc.batched {
+		sc.wbuf = wire.AppendPrediction(sc.wbuf[:0], p)
+		return sc.flushLocked()
+	}
+	sc.preds = append(sc.preds, *p)
+	if len(sc.preds) == 1 {
+		sc.firstPendNs = time.Now().UnixNano()
+		if iv := sc.srv.cfg.FlushInterval; iv > 0 {
+			sc.flushTimer.Reset(iv)
+		}
+	}
+	if len(sc.preds) >= sc.srv.flushThreshold || sc.srv.cfg.FlushInterval < 0 {
+		return sc.flushLocked()
+	}
+	return nil
 }
 
 func (sc *serverConn) writeDrain(d *wire.Drain) error {
@@ -103,7 +227,8 @@ func (sc *serverConn) writeDrain(d *wire.Drain) error {
 func (sc *serverConn) writeSnapshot(s *wire.Snapshot) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
-	buf, err := wire.AppendSnapshot(sc.wbuf[:0], s)
+	sc.wbuf = sc.wbuf[:0]
+	buf, err := wire.AppendSnapshot(sc.wbuf, s)
 	if err != nil {
 		return err
 	}
@@ -121,6 +246,11 @@ func (sc *serverConn) writeRollup(r *wire.Rollup) error {
 func (sc *serverConn) writeError(e *wire.ErrorFrame) error {
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
-	sc.wbuf = wire.AppendError(sc.wbuf[:0], e)
+	sc.wbuf = sc.wbuf[:0]
+	buf, err := wire.AppendError(sc.wbuf, e)
+	if err != nil {
+		return err
+	}
+	sc.wbuf = buf
 	return sc.flushLocked()
 }

@@ -69,6 +69,18 @@ type Config struct {
 	// their predictions are disconnected. Zero selects 5s; negative
 	// disables the deadline.
 	WriteTimeout time.Duration
+	// FlushInterval bounds how long a batching connection's write
+	// coalescer may hold a buffered prediction before flushing — the
+	// reply-latency budget batching trades throughput against. Zero
+	// selects 500µs; negative disables coalescing-by-time entirely
+	// (every prediction flushes immediately, still batch-framed).
+	// Connections that never negotiate wire.FlagBatch are unaffected.
+	FlushInterval time.Duration
+	// FlushBytes is the coalescer's size threshold: a pending reply
+	// batch whose encoded size reaches it flushes without waiting for
+	// the interval. Zero selects 32 KiB; the effective threshold is
+	// clamped to one wire.MaxPayload batch frame.
+	FlushBytes int
 	// RollupBucket is the rollup pipeline's time-bucket length: every
 	// served, shed, or dropped sample is accumulated into the bucket
 	// covering its instant. Zero selects 1s.
@@ -102,6 +114,12 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 5 * time.Second
 	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 500 * time.Microsecond
+	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 32 << 10
+	}
 	if c.RollupBucket <= 0 {
 		c.RollupBucket = time.Duration(agg.DefaultBucketLenNs)
 	}
@@ -120,6 +138,10 @@ type Server struct {
 	cfg   Config
 	trans *dvfs.Translation
 	clock telemetry.Clock
+	// flushThreshold is FlushBytes expressed in predictions per batch,
+	// clamped to one frame; precomputed so the coalescer's hot path is
+	// a single integer compare.
+	flushThreshold int
 
 	workers []*worker
 	wg      sync.WaitGroup // worker goroutines
@@ -154,7 +176,10 @@ type Server struct {
 	framesOut     *telemetry.Counter
 	drops         *telemetry.Counter
 	protoErrs     *telemetry.Counter
+	flushes       *telemetry.Counter
 	frameSeconds  *telemetry.Histogram
+	flushFrames   *telemetry.Histogram
+	flushSeconds  *telemetry.Histogram
 }
 
 // New validates the configuration and builds a stopped server.
@@ -191,7 +216,17 @@ func New(cfg Config) (*Server, error) {
 		s.framesOut = tel.PhasedFramesOut
 		s.drops = tel.PhasedDroppedSamples
 		s.protoErrs = tel.PhasedProtocolErrors
+		s.flushes = tel.PhasedFlushes
 		s.frameSeconds = tel.PhasedFrameSeconds
+		s.flushFrames = tel.PhasedFlushFrames
+		s.flushSeconds = tel.PhasedFlushSeconds
+	}
+	s.flushThreshold = cfg.FlushBytes / wire.PredictionRecordSize
+	if s.flushThreshold < 1 {
+		s.flushThreshold = 1
+	}
+	if s.flushThreshold > wire.MaxBatchPredictions {
+		s.flushThreshold = wire.MaxBatchPredictions
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{srv: s, idx: i}
@@ -235,6 +270,12 @@ func (s *Server) Serve(ln net.Listener) error {
 				return nil
 			}
 			return err
+		}
+		// Nagle's algorithm would add its own delay on top of the
+		// coalescer's explicit FlushInterval budget; disable it so the
+		// only write latency is the one we account for.
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
 		}
 		sc := &serverConn{srv: s, c: c}
 		s.mu.Lock()
@@ -460,6 +501,10 @@ func (s *Server) readLoop(sc *serverConn) {
 			if !s.handleSample(sc, payload) {
 				return
 			}
+		case wire.KindBatch:
+			if !s.handleBatch(sc, payload) {
+				return
+			}
 		case wire.KindDrain:
 			if !s.handleClientDrain(sc, payload) {
 				return
@@ -529,14 +574,19 @@ func (s *Server) handleHello(sc *serverConn, payload []byte) bool {
 		spec:         append([]byte(nil), h.Spec...),
 	}
 
-	return s.registerAndAck(sc, sess)
+	ackFlags := h.Flags & (wire.FlagSnapshot | wire.FlagBatch)
+	if ackFlags&wire.FlagBatch != 0 {
+		sc.enableBatch()
+	}
+	return s.registerAndAck(sc, sess, ackFlags)
 }
 
 // registerAndAck inserts a negotiated session into the server tables —
 // enforcing the draining gate, duplicate-id, and per-IP limits — then
-// answers the Ack and opens it. Shared by the Hello and Restore paths;
-// it reports whether the connection should stay open.
-func (s *Server) registerAndAck(sc *serverConn, sess *session) bool {
+// answers the Ack, echoing the accepted feature flags, and opens it.
+// Shared by the Hello and Restore paths; it reports whether the
+// connection should stay open.
+func (s *Server) registerAndAck(sc *serverConn, sess *session, ackFlags uint16) bool {
 	s.mu.Lock()
 	switch {
 	case s.draining || s.closed:
@@ -565,7 +615,7 @@ func (s *Server) registerAndAck(sc *serverConn, sess *session) bool {
 	sc.addSession(sess)
 
 	if err := sc.writeAck(&wire.Ack{SessionID: sess.id,
-		NumPhases: uint8(s.cfg.Classifier.NumPhases())}); err != nil {
+		NumPhases: uint8(s.cfg.Classifier.NumPhases()), Flags: ackFlags}); err != nil {
 		return false
 	}
 	w := s.workerFor(sess.id)
@@ -637,7 +687,14 @@ func (s *Server) handleRestore(sc *serverConn, payload []byte) bool {
 		lastSeq:      lastSeq,
 		processed:    r.Processed,
 	}
-	return s.registerAndAck(sc, sess)
+	// A restored session always re-snapshots; batching carries over
+	// only if the restoring client still asks for it (it may have
+	// migrated to a build without the batch path).
+	ackFlags := wire.FlagSnapshot | r.Flags&wire.FlagBatch
+	if ackFlags&wire.FlagBatch != 0 {
+		sc.enableBatch()
+	}
+	return s.registerAndAck(sc, sess, ackFlags)
 }
 
 // handleRollupHello subscribes the connection to the rollup stream: no
@@ -656,7 +713,8 @@ func (s *Server) handleRollupHello(sc *serverConn, h *wire.Hello) bool {
 	s.rollupSubs[sc] = struct{}{}
 	s.mu.Unlock()
 	return sc.writeAck(&wire.Ack{SessionID: h.SessionID,
-		NumPhases: uint8(s.cfg.Classifier.NumPhases())}) == nil
+		NumPhases: uint8(s.cfg.Classifier.NumPhases()),
+		Flags:     wire.FlagRollup}) == nil
 }
 
 // handleSample queues one sample on its session's pinned worker.
@@ -667,6 +725,45 @@ func (s *Server) handleSample(sc *serverConn, payload []byte) bool {
 		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame, Msg: []byte(err.Error())})
 		return false
 	}
+	return s.queueSample(sc, &smp)
+}
+
+// handleBatch unpacks a client sample batch straight into the worker
+// queues — each record takes the same path a per-frame Sample would,
+// so batched and unbatched clients are indistinguishable past this
+// point. A prediction batch arriving here is a confused peer
+// (predictions only flow server→client) and is connection-fatal.
+func (s *Server) handleBatch(sc *serverConn, payload []byte) bool {
+	elem, n, recs, err := wire.DecodeBatch(payload)
+	if err != nil {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame, Msg: []byte(err.Error())})
+		return false
+	}
+	if elem != wire.KindSample {
+		s.protoErrs.Inc()
+		_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame,
+			Msg: []byte("unexpected " + elem.String() + " batch")})
+		return false
+	}
+	for i := 0; i < n; i++ {
+		var smp wire.Sample
+		if err := wire.DecodeSample(recs[i*wire.SampleRecordSize:(i+1)*wire.SampleRecordSize], &smp); err != nil {
+			s.protoErrs.Inc()
+			_ = sc.writeError(&wire.ErrorFrame{Code: wire.CodeBadFrame, Msg: []byte(err.Error())})
+			return false
+		}
+		if !s.queueSample(sc, &smp) {
+			return false
+		}
+	}
+	return true
+}
+
+// queueSample routes one decoded sample to its session's pinned
+// worker, accounting evictions; shared by the per-frame and batch
+// read paths. It reports whether the connection should stay open.
+func (s *Server) queueSample(sc *serverConn, smp *wire.Sample) bool {
 	s.mu.Lock()
 	sess := s.sessions[smp.SessionID]
 	s.mu.Unlock()
@@ -682,7 +779,7 @@ func (s *Server) handleSample(sc *serverConn, payload []byte) bool {
 		w.mu.Unlock()
 		return true // draining/closed: late samples are dropped silently
 	}
-	if d := sess.queue.push(smp); d > 0 {
+	if d := sess.queue.push(*smp); d > 0 {
 		sess.dropped += uint64(d)
 		s.drops.Add(uint64(d))
 		// A shed sample was never served, so it has no class or setting;

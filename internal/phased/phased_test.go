@@ -295,6 +295,17 @@ func dialRaw(t *testing.T, addr string) net.Conn {
 	return c
 }
 
+// appendHello encodes a Hello, failing the test on the (here
+// impossible) oversize-spec error.
+func appendHello(t *testing.T, dst []byte, h *wire.Hello) []byte {
+	t.Helper()
+	buf, err := wire.AppendHello(dst, h)
+	if err != nil {
+		t.Fatalf("AppendHello: %v", err)
+	}
+	return buf
+}
+
 // awaitCounter polls a telemetry counter until it reaches want.
 func awaitCounter(t *testing.T, c *telemetry.Counter, want uint64, what string) {
 	t.Helper()
@@ -342,7 +353,7 @@ func TestMalformedFrameRejected(t *testing.T) {
 func TestShortReadCountsProtocolError(t *testing.T) {
 	_, addr, hub := startServer(t, Config{})
 	c := dialRaw(t, addr)
-	full := wire.AppendHello(nil, &wire.Hello{SessionID: 1, GranularityUops: 100e6, Spec: []byte("gpht_8_128")})
+	full := appendHello(t, nil, &wire.Hello{SessionID: 1, GranularityUops: 100e6, Spec: []byte("gpht_8_128")})
 	if _, err := c.Write(full[:len(full)-5]); err != nil {
 		t.Fatalf("write: %v", err)
 	}
@@ -366,14 +377,14 @@ func TestUnknownSessionAndBadSpecSurvivable(t *testing.T) {
 	expectError(t, dec, wire.CodeUnknownSession)
 
 	// A spec the registry rejects.
-	buf = wire.AppendHello(buf[:0], &wire.Hello{SessionID: 1, Spec: []byte("no_such_predictor")})
+	buf = appendHello(t, buf[:0], &wire.Hello{SessionID: 1, Spec: []byte("no_such_predictor")})
 	if _, err := c.Write(buf); err != nil {
 		t.Fatal(err)
 	}
 	expectError(t, dec, wire.CodeBadSpec)
 
 	// The connection still negotiates a real session afterward.
-	buf = wire.AppendHello(buf[:0], &wire.Hello{SessionID: 1, Spec: []byte("lastvalue")})
+	buf = appendHello(t, buf[:0], &wire.Hello{SessionID: 1, Spec: []byte("lastvalue")})
 	if _, err := c.Write(buf); err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +413,7 @@ func TestDuplicateSessionRejected(t *testing.T) {
 
 	c := dialRaw(t, addr)
 	dec := wire.NewDecoder(c)
-	buf := wire.AppendHello(nil, &wire.Hello{SessionID: 5, Spec: []byte("lastvalue")})
+	buf := appendHello(t, nil, &wire.Hello{SessionID: 5, Spec: []byte("lastvalue")})
 	if _, err := c.Write(buf); err != nil {
 		t.Fatal(err)
 	}
@@ -518,7 +529,7 @@ func TestSlowClientDisconnected(t *testing.T) {
 	c := ln.dial()
 	defer c.Close()
 	dec := wire.NewDecoder(c)
-	buf := wire.AppendHello(nil, &wire.Hello{SessionID: 1, Spec: []byte("lastvalue")})
+	buf := appendHello(t, nil, &wire.Hello{SessionID: 1, Spec: []byte("lastvalue")})
 	if _, err := c.Write(buf); err != nil {
 		t.Fatal(err)
 	}
@@ -572,7 +583,7 @@ func TestBackpressureDropsOldest(t *testing.T) {
 	c := ln.dial()
 	defer c.Close()
 	dec := wire.NewDecoder(c)
-	buf := wire.AppendHello(nil, &wire.Hello{SessionID: 1, Spec: []byte("lastvalue")})
+	buf := appendHello(t, nil, &wire.Hello{SessionID: 1, Spec: []byte("lastvalue")})
 	if _, err := c.Write(buf); err != nil {
 		t.Fatal(err)
 	}

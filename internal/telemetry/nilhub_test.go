@@ -100,9 +100,9 @@ func TestNilReceiversAreNoOps(t *testing.T) {
 func TestNilSafePhasedInstruments(t *testing.T) {
 	var h *Hub // nil: the fields below are nil instruments via a guarded fetch
 	var (
-		sessions                              *Gauge
-		framesIn, framesOut, drops, protoErrs *Counter
-		frameSeconds                          *Histogram
+		sessions                                       *Gauge
+		framesIn, framesOut, drops, protoErrs, flushes *Counter
+		frameSeconds, flushFrames, flushSeconds        *Histogram
 	)
 	if h != nil {
 		t.Fatal("test wants a nil hub")
@@ -112,9 +112,14 @@ func TestNilSafePhasedInstruments(t *testing.T) {
 	framesOut.Add(2)
 	drops.Inc()
 	protoErrs.Inc()
+	flushes.Inc()
 	frameSeconds.Observe(1e-6)
+	flushFrames.Observe(8)
+	flushSeconds.Observe(200e-6)
 	if sessions.Value() != 0 || framesIn.Value() != 0 || framesOut.Value() != 0 ||
-		drops.Value() != 0 || protoErrs.Value() != 0 || frameSeconds.Snapshot().Count != 0 {
+		drops.Value() != 0 || protoErrs.Value() != 0 || flushes.Value() != 0 ||
+		frameSeconds.Snapshot().Count != 0 || flushFrames.Snapshot().Count != 0 ||
+		flushSeconds.Snapshot().Count != 0 {
 		t.Error("nil phased instruments accumulated state")
 	}
 
@@ -126,11 +131,15 @@ func TestNilSafePhasedInstruments(t *testing.T) {
 	hub.PhasedFramesOut.Add(9)
 	hub.PhasedDroppedSamples.Inc()
 	hub.PhasedProtocolErrors.Inc()
+	hub.PhasedFlushes.Inc()
 	hub.PhasedFrameSeconds.Observe(3e-6)
+	hub.PhasedFlushFrames.Observe(4)
+	hub.PhasedFlushSeconds.Observe(150e-6)
 	snap := hub.Registry.SnapshotPrefix(PhasedPrefix)
 	wantCounters := []string{
 		MetricPhasedFramesIn, MetricPhasedFramesOut,
 		MetricPhasedDroppedSamples, MetricPhasedProtocolErrors,
+		MetricPhasedFlushes,
 	}
 	for _, name := range wantCounters {
 		if _, ok := snap.Counters[name]; !ok {
@@ -144,7 +153,16 @@ func TestNilSafePhasedInstruments(t *testing.T) {
 	if _, ok := snap.Gauges[MetricPhasedSessions]; !ok || len(snap.Gauges) != 1 {
 		t.Errorf("SnapshotPrefix gauges = %v, want only %s", snap.Gauges, MetricPhasedSessions)
 	}
-	if _, ok := snap.Histograms[MetricPhasedFrameSeconds]; !ok || len(snap.Histograms) != 1 {
-		t.Errorf("SnapshotPrefix histograms = %v, want only %s", snap.Histograms, MetricPhasedFrameSeconds)
+	wantHistograms := []string{
+		MetricPhasedFrameSeconds, MetricPhasedFlushFrames, MetricPhasedFlushSeconds,
+	}
+	for _, name := range wantHistograms {
+		if _, ok := snap.Histograms[name]; !ok {
+			t.Errorf("SnapshotPrefix missing histogram %s", name)
+		}
+	}
+	if len(snap.Histograms) != len(wantHistograms) {
+		t.Errorf("SnapshotPrefix has %d histograms %v, want exactly %d",
+			len(snap.Histograms), snap.Histograms, len(wantHistograms))
 	}
 }

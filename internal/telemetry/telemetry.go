@@ -57,6 +57,9 @@ const (
 	MetricPhasedDroppedSamples = "phasemon_phased_dropped_samples_total"
 	MetricPhasedProtocolErrors = "phasemon_phased_protocol_errors_total"
 	MetricPhasedFrameSeconds   = "phasemon_phased_frame_seconds"
+	MetricPhasedFlushes        = "phasemon_phased_flushes_total"
+	MetricPhasedFlushFrames    = "phasemon_phased_flush_frames"
+	MetricPhasedFlushSeconds   = "phasemon_phased_flush_seconds"
 
 	// Rollup-pipeline self-telemetry (the agg package).
 	MetricAggIngested       = "phasemon_agg_ingested_total"
@@ -109,6 +112,17 @@ var DefaultFleetRunBounds = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30}
 // load.
 var DefaultFrameBounds = []float64{5e-6, 20e-6, 100e-6, 500e-6, 2e-3, 10e-3, 100e-3}
 
+// DefaultFlushFrameBounds bucket the number of reply frames coalesced
+// into one writev by the phased server's per-connection coalescer; a
+// distribution stuck at 1 means batching is negotiated but idle.
+var DefaultFlushFrameBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// DefaultFlushBounds bucket the coalescer's flush latency in seconds:
+// first prediction buffered to writev completed. The 500 µs bound is
+// the default FlushInterval, so the buckets above it count flushes
+// that blew the latency budget (slow peers, kernel backpressure).
+var DefaultFlushBounds = []float64{50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 5e-3, 20e-3}
+
 // Hub bundles the instruments and journal for one monitored pipeline.
 // Every Record* method and every instrument handle is safe on a nil
 // *Hub, so components hold a Hub pointer that defaults to nil and
@@ -158,6 +172,8 @@ type Hub struct {
 	PhasedFramesOut      *Counter
 	PhasedDroppedSamples *Counter
 	PhasedProtocolErrors *Counter
+	// PhasedFlushes counts coalesced reply writes (one writev each).
+	PhasedFlushes *Counter
 
 	// Distributions.
 	MemPerUop   *Histogram
@@ -167,6 +183,11 @@ type Hub struct {
 	// PhasedFrameSeconds distributes the phased server's per-frame
 	// handling latency (sample arrival to prediction written).
 	PhasedFrameSeconds *Histogram
+	// PhasedFlushFrames distributes reply frames per coalesced flush.
+	PhasedFlushFrames *Histogram
+	// PhasedFlushSeconds distributes coalescer flush latency (first
+	// prediction buffered to writev completed).
+	PhasedFlushSeconds *Histogram
 
 	// conf is the live confusion matrix: a flat row-major
 	// (numPhases+1)² grid of atomic cells (row = actual, column =
@@ -213,6 +234,7 @@ func NewHub(numPhases int, opts ...HubOption) *Hub {
 		PhasedFramesOut:      reg.Counter(MetricPhasedFramesOut),
 		PhasedDroppedSamples: reg.Counter(MetricPhasedDroppedSamples),
 		PhasedProtocolErrors: reg.Counter(MetricPhasedProtocolErrors),
+		PhasedFlushes:        reg.Counter(MetricPhasedFlushes),
 
 		CurrentPhase:         reg.Gauge(MetricCurrentPhase),
 		PredictedPhase:       reg.Gauge(MetricPredictedPhase),
@@ -225,6 +247,8 @@ func NewHub(numPhases int, opts ...HubOption) *Hub {
 	h.HandlerCost, _ = reg.Histogram(MetricHandlerSeconds, DefaultHandlerBounds)
 	h.FleetRunSeconds, _ = reg.Histogram(MetricFleetRunSeconds, DefaultFleetRunBounds)
 	h.PhasedFrameSeconds, _ = reg.Histogram(MetricPhasedFrameSeconds, DefaultFrameBounds)
+	h.PhasedFlushFrames, _ = reg.Histogram(MetricPhasedFlushFrames, DefaultFlushFrameBounds)
+	h.PhasedFlushSeconds, _ = reg.Histogram(MetricPhasedFlushSeconds, DefaultFlushBounds)
 	h.numPhases = numPhases
 	h.conf = make([]atomic.Uint64, (numPhases+1)*(numPhases+1))
 	for _, opt := range opts {

@@ -12,12 +12,27 @@ import (
 // than MaxPayload, and every frame it does accept re-encodes to the
 // exact bytes it was decoded from (the framing is canonical).
 func FuzzDecoder(f *testing.F) {
-	f.Add(AppendHello(nil, &Hello{SessionID: 1, GranularityUops: 1e8, Spec: []byte("gpht_8_128")}))
-	f.Add(AppendAck(nil, &Ack{SessionID: 1, NumPhases: 6}))
+	if b, err := AppendHello(nil, &Hello{SessionID: 1, GranularityUops: 1e8, Spec: []byte("gpht_8_128")}); err == nil {
+		f.Add(b)
+	}
+	f.Add(AppendAck(nil, &Ack{SessionID: 1, NumPhases: 6, Flags: FlagBatch}))
 	f.Add(AppendSample(nil, &Sample{SessionID: 1, Seq: 0, Uops: 1e8, MemTx: 42, Cycles: 9e7}))
 	f.Add(AppendPrediction(nil, &Prediction{SessionID: 1, Seq: 0, Actual: 1, Next: 2, Class: 2, Setting: 1}))
 	f.Add(AppendDrain(nil, &Drain{SessionID: 1, LastSeq: 99}))
-	f.Add(AppendError(nil, &ErrorFrame{Code: CodeBadFrame, Msg: []byte("boom")}))
+	if b, err := AppendError(nil, &ErrorFrame{Code: CodeBadFrame, Msg: []byte("boom")}); err == nil {
+		f.Add(b)
+	}
+	if b, err := AppendBatchSamples(nil, []Sample{
+		{SessionID: 1, Seq: 0, Uops: 1e8, MemTx: 42, Cycles: 9e7},
+		{SessionID: 1, Seq: 1, Uops: 1e8, MemTx: 7, Cycles: 8e7},
+	}); err == nil {
+		f.Add(b)
+	}
+	if b, err := AppendBatchPredictions(nil, []Prediction{
+		{SessionID: 1, Seq: 0, Actual: 1, Next: 2, Class: 2, Setting: 1},
+	}); err == nil {
+		f.Add(b)
+	}
 	if b, err := (AppendSnapshot(nil, &Snapshot{SessionID: 1, LastSeq: 10, Processed: 11,
 		Spec: []byte("gpht_8_128"), State: []byte{0x4D, 1, 6, 0, 0}})); err == nil {
 		f.Add(b)
@@ -54,7 +69,7 @@ func FuzzDecoder(f *testing.F) {
 			case KindHello:
 				var h Hello
 				if DecodeHello(payload, &h) == nil {
-					re = AppendHello(nil, &h)
+					re, _ = AppendHello(nil, &h)
 				}
 			case KindAck:
 				var a Ack
@@ -79,7 +94,7 @@ func FuzzDecoder(f *testing.F) {
 			case KindError:
 				var e ErrorFrame
 				if DecodeError(payload, &e) == nil {
-					re = AppendError(nil, &e)
+					re, _ = AppendError(nil, &e)
 				}
 			case KindRollup:
 				var r Rollup
@@ -95,6 +110,37 @@ func FuzzDecoder(f *testing.F) {
 				var r Restore
 				if DecodeRestore(payload, &r) == nil {
 					re, _ = AppendRestore(nil, &r)
+				}
+			case KindBatch:
+				if elem, n, recs, err := DecodeBatch(payload); err == nil {
+					switch elem {
+					case KindSample:
+						ss := make([]Sample, n)
+						ok := true
+						for i := range ss {
+							if DecodeSample(recs[i*SampleRecordSize:(i+1)*SampleRecordSize], &ss[i]) != nil {
+								ok = false
+								break
+							}
+						}
+						if ok {
+							re, _ = AppendBatchSamples(nil, ss)
+						}
+					case KindPrediction:
+						ps := make([]Prediction, n)
+						ok := true
+						for i := range ps {
+							if DecodePrediction(recs[i*PredictionRecordSize:(i+1)*PredictionRecordSize], &ps[i]) != nil {
+								ok = false
+								break
+							}
+						}
+						if ok {
+							re, _ = AppendBatchPredictions(nil, ps)
+						}
+					default:
+						t.Fatalf("DecodeBatch accepted element kind %v", elem)
+					}
 				}
 			case KindInvalid:
 				t.Fatalf("decoder accepted KindInvalid")

@@ -3,13 +3,14 @@
 // from monitored nodes to a phase-prediction service and predictions
 // back (DESIGN.md §11).
 //
-// The protocol is deliberately minimal — nine frame kinds over one
+// The protocol is deliberately minimal — ten frame kinds over one
 // TCP stream, multiplexing any number of sessions by an explicit
 // session id — and deliberately cheap: every frame is a fixed 8-byte
 // header,
 // a payload, and a CRC-32 trailer, and both directions of the hot
-// path (Sample in, Prediction out) encode and decode without
-// allocating, which the package's testing.AllocsPerRun tests prove.
+// path (Sample in, Prediction out, batched or per-frame) encode and
+// decode without allocating, which the package's testing.AllocsPerRun
+// tests prove.
 //
 // Frame layout (all integers big-endian):
 //
@@ -105,6 +106,11 @@ const (
 	// and answers with an Ack, after which prediction continues
 	// bit-identically with the pre-drain stream.
 	KindRestore
+	// KindBatch packs N Sample or Prediction records into one frame
+	// (either direction; the element kind is explicit in the payload).
+	// Batching is negotiated per connection via FlagBatch, so peers
+	// that never set the flag never see a batch frame.
+	KindBatch
 )
 
 // String names the kind for logs and errors.
@@ -130,13 +136,15 @@ func (k FrameKind) String() string {
 		return "snapshot"
 	case KindRestore:
 		return "restore"
+	case KindBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // Valid reports whether k is a kind defined by protocol version 1.
-func (k FrameKind) Valid() bool { return k >= KindHello && k <= KindRestore }
+func (k FrameKind) Valid() bool { return k >= KindHello && k <= KindBatch }
 
 // ErrorCode classifies Error frames.
 type ErrorCode uint16
@@ -222,7 +230,8 @@ type Hello struct {
 	// (informational; the paper's deployment uses 100M).
 	GranularityUops uint64
 	// Flags modifies the session being opened; undefined bits must be
-	// sent as 0. FlagRollup is the only flag defined by version 1.
+	// sent as 0. Version 1 defines FlagRollup, FlagSnapshot, and
+	// FlagBatch.
 	Flags uint16
 	// Spec is the predictor spec string (core.PredictorSpec grammar,
 	// e.g. "gpht_8_128") the session's predictor is built from.
@@ -241,12 +250,24 @@ const FlagRollup uint16 = 1 << 0
 // opened without it drain stateless, exactly as in earlier releases.
 const FlagSnapshot uint16 = 1 << 1
 
+// FlagBatch, set on a Hello or Restore, negotiates Batch frames on the
+// connection: the sender may pack its Samples into KindBatch frames,
+// and the server may coalesce Predictions likewise. The server echoes
+// the flag in the Ack's Flags when it will do so; a peer that never
+// sees the flag echoed must keep sending per-frame, so unaware v1
+// peers are unaffected.
+const FlagBatch uint16 = 1 << 2
+
 // Ack accepts a session.
 type Ack struct {
 	SessionID uint64
 	// NumPhases is the phase count of the server's classifier; phase
 	// ids in Prediction frames are in [1, NumPhases].
 	NumPhases uint8
+	// Flags echoes the flag bits of the Hello/Restore the server
+	// accepted and will honor (FlagRollup, FlagSnapshot, FlagBatch);
+	// bits the server does not understand come back 0.
+	Flags uint16
 }
 
 // Sample carries one interval's raw counters. The server derives the
@@ -421,7 +442,7 @@ type Rollup struct {
 
 // Payload sizes of the fixed-size frames.
 const (
-	ackSize        = 9
+	ackSize        = 11
 	sampleSize     = 48
 	predictionSize = 28
 	drainSize      = 16
@@ -435,6 +456,33 @@ const (
 	// rollupSize: 7 scalar fields (NodeID..LatSumNs, Shard packed as 4
 	// bytes) + 3 cell grids + latency buckets + top-K pairs.
 	rollupSize = 52 + 3*8*RollupCells + 8*RollupLatBuckets + 16*RollupTopK
+)
+
+// Batch frame layout. The payload is a 4-byte envelope — batch format
+// version, element kind, record count — followed by the records packed
+// back to back in exactly the encoding their per-frame payloads use,
+// so the per-record codecs are shared between both paths.
+const (
+	// BatchVersion1 is the batch envelope's format version (independent
+	// of the framing version, so the packing can evolve without a
+	// protocol bump).
+	BatchVersion1 uint8 = 1
+	// batchFixed: version(u8) + element kind(u8) + count(u16).
+	batchFixed = 4
+	// SampleRecordSize and PredictionRecordSize are the packed
+	// per-record sizes inside a batch (identical to the per-frame
+	// payload sizes); record i of a decoded batch spans
+	// records[i*size : (i+1)*size].
+	SampleRecordSize     = sampleSize
+	PredictionRecordSize = predictionSize
+	// MaxBatchSamples / MaxBatchPredictions bound one batch frame's
+	// record count by MaxPayload.
+	MaxBatchSamples     = (MaxPayload - batchFixed) / SampleRecordSize
+	MaxBatchPredictions = (MaxPayload - batchFixed) / PredictionRecordSize
+	// BatchOverhead is the framing plus envelope cost of one batch
+	// frame; a coalescer sizing its encode buffer for N records needs
+	// BatchOverhead + N*record size bytes.
+	BatchOverhead = HeaderSize + batchFixed + TrailerSize
 )
 
 // --- encoding ------------------------------------------------------
@@ -451,24 +499,24 @@ func appendCRC(dst []byte, start int) []byte {
 	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
 }
 
-// AppendHello encodes a Hello frame onto dst and returns the extended
-// slice. Specs longer than MaxPayload-helloFixed are truncated — in
+// AppendHello encodes a Hello frame onto dst. An oversized spec is an
+// error, never a truncation — a silently shortened spec would open a
+// session serving a different predictor than the one asked for. In
 // practice specs are tens of bytes.
 //
 //lint:hotpath
-func AppendHello(dst []byte, h *Hello) []byte {
-	spec := h.Spec
-	if len(spec) > MaxPayload-helloFixed {
-		spec = spec[:MaxPayload-helloFixed]
+func AppendHello(dst []byte, h *Hello) ([]byte, error) {
+	if len(h.Spec) > MaxPayload-helloFixed {
+		return dst, fmt.Errorf("%w: hello spec %d bytes", ErrTooLarge, len(h.Spec))
 	}
 	start := len(dst)
-	dst = appendHeader(dst, KindHello, helloFixed+len(spec))
+	dst = appendHeader(dst, KindHello, helloFixed+len(h.Spec))
 	dst = binary.BigEndian.AppendUint64(dst, h.SessionID)
 	dst = binary.BigEndian.AppendUint64(dst, h.GranularityUops)
 	dst = binary.BigEndian.AppendUint16(dst, h.Flags)
-	dst = binary.BigEndian.AppendUint16(dst, uint16(len(spec)))
-	dst = append(dst, spec...)
-	return appendCRC(dst, start)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(h.Spec)))
+	dst = append(dst, h.Spec...)
+	return appendCRC(dst, start), nil
 }
 
 // AppendAck encodes an Ack frame onto dst.
@@ -479,7 +527,32 @@ func AppendAck(dst []byte, a *Ack) []byte {
 	dst = appendHeader(dst, KindAck, ackSize)
 	dst = binary.BigEndian.AppendUint64(dst, a.SessionID)
 	dst = append(dst, a.NumPhases)
+	dst = binary.BigEndian.AppendUint16(dst, a.Flags)
 	return appendCRC(dst, start)
+}
+
+// appendSampleRecord packs one Sample body (no framing) onto dst;
+// shared by the per-frame and batch encoders.
+//
+//lint:hotpath
+func appendSampleRecord(dst []byte, s *Sample) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, s.SessionID)
+	dst = binary.BigEndian.AppendUint64(dst, s.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, s.Uops)
+	dst = binary.BigEndian.AppendUint64(dst, s.MemTx)
+	dst = binary.BigEndian.AppendUint64(dst, s.Cycles)
+	return binary.BigEndian.AppendUint64(dst, s.WallNs)
+}
+
+// appendPredictionRecord packs one Prediction body (no framing) onto
+// dst; shared by the per-frame and batch encoders.
+//
+//lint:hotpath
+func appendPredictionRecord(dst []byte, p *Prediction) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, p.SessionID)
+	dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+	dst = append(dst, p.Actual, p.Next, p.Class, p.Setting)
+	return binary.BigEndian.AppendUint64(dst, p.Dropped)
 }
 
 // AppendSample encodes a Sample frame onto dst.
@@ -488,12 +561,7 @@ func AppendAck(dst []byte, a *Ack) []byte {
 func AppendSample(dst []byte, s *Sample) []byte {
 	start := len(dst)
 	dst = appendHeader(dst, KindSample, sampleSize)
-	dst = binary.BigEndian.AppendUint64(dst, s.SessionID)
-	dst = binary.BigEndian.AppendUint64(dst, s.Seq)
-	dst = binary.BigEndian.AppendUint64(dst, s.Uops)
-	dst = binary.BigEndian.AppendUint64(dst, s.MemTx)
-	dst = binary.BigEndian.AppendUint64(dst, s.Cycles)
-	dst = binary.BigEndian.AppendUint64(dst, s.WallNs)
+	dst = appendSampleRecord(dst, s)
 	return appendCRC(dst, start)
 }
 
@@ -503,11 +571,44 @@ func AppendSample(dst []byte, s *Sample) []byte {
 func AppendPrediction(dst []byte, p *Prediction) []byte {
 	start := len(dst)
 	dst = appendHeader(dst, KindPrediction, predictionSize)
-	dst = binary.BigEndian.AppendUint64(dst, p.SessionID)
-	dst = binary.BigEndian.AppendUint64(dst, p.Seq)
-	dst = append(dst, p.Actual, p.Next, p.Class, p.Setting)
-	dst = binary.BigEndian.AppendUint64(dst, p.Dropped)
+	dst = appendPredictionRecord(dst, p)
 	return appendCRC(dst, start)
+}
+
+// AppendBatchSamples encodes recs as one KindBatch frame onto dst. An
+// empty or over-MaxBatchSamples batch is an error, never a truncation.
+//
+//lint:hotpath
+func AppendBatchSamples(dst []byte, recs []Sample) ([]byte, error) {
+	if len(recs) == 0 || len(recs) > MaxBatchSamples {
+		return dst, fmt.Errorf("%w: batch of %d samples", ErrTooLarge, len(recs))
+	}
+	start := len(dst)
+	dst = appendHeader(dst, KindBatch, batchFixed+len(recs)*SampleRecordSize)
+	dst = append(dst, BatchVersion1, byte(KindSample))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(recs)))
+	for i := range recs {
+		dst = appendSampleRecord(dst, &recs[i])
+	}
+	return appendCRC(dst, start), nil
+}
+
+// AppendBatchPredictions encodes recs as one KindBatch frame onto dst,
+// with the same bounds contract as AppendBatchSamples.
+//
+//lint:hotpath
+func AppendBatchPredictions(dst []byte, recs []Prediction) ([]byte, error) {
+	if len(recs) == 0 || len(recs) > MaxBatchPredictions {
+		return dst, fmt.Errorf("%w: batch of %d predictions", ErrTooLarge, len(recs))
+	}
+	start := len(dst)
+	dst = appendHeader(dst, KindBatch, batchFixed+len(recs)*PredictionRecordSize)
+	dst = append(dst, BatchVersion1, byte(KindPrediction))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(recs)))
+	for i := range recs {
+		dst = appendPredictionRecord(dst, &recs[i])
+	}
+	return appendCRC(dst, start), nil
 }
 
 // AppendDrain encodes a Drain frame onto dst.
@@ -521,22 +622,21 @@ func AppendDrain(dst []byte, d *Drain) []byte {
 	return appendCRC(dst, start)
 }
 
-// AppendError encodes an Error frame onto dst. Messages longer than
-// the payload bound are truncated.
+// AppendError encodes an Error frame onto dst. An oversized message is
+// an error, as in AppendHello — diagnostics must not be silently cut.
 //
 //lint:hotpath
-func AppendError(dst []byte, e *ErrorFrame) []byte {
-	msg := e.Msg
-	if len(msg) > MaxPayload-errorFixed {
-		msg = msg[:MaxPayload-errorFixed]
+func AppendError(dst []byte, e *ErrorFrame) ([]byte, error) {
+	if len(e.Msg) > MaxPayload-errorFixed {
+		return dst, fmt.Errorf("%w: error msg %d bytes", ErrTooLarge, len(e.Msg))
 	}
 	start := len(dst)
-	dst = appendHeader(dst, KindError, errorFixed+len(msg))
+	dst = appendHeader(dst, KindError, errorFixed+len(e.Msg))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(e.Code))
 	dst = binary.BigEndian.AppendUint64(dst, e.SessionID)
-	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
-	dst = append(dst, msg...)
-	return appendCRC(dst, start)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(e.Msg)))
+	dst = append(dst, e.Msg...)
+	return appendCRC(dst, start), nil
 }
 
 // AppendSnapshot encodes a Snapshot frame onto dst. Unlike the
@@ -674,6 +774,7 @@ func DecodeAck(payload []byte, a *Ack) error {
 	}
 	a.SessionID = binary.BigEndian.Uint64(payload)
 	a.NumPhases = payload[8]
+	a.Flags = binary.BigEndian.Uint16(payload[9:])
 	return nil
 }
 
@@ -792,6 +893,39 @@ func DecodeRestore(payload []byte, r *Restore) error {
 		return fmt.Errorf("%w: restore state checksum", ErrBadCRC)
 	}
 	return nil
+}
+
+// DecodeBatch parses a Batch payload's envelope, returning the packed
+// element kind (KindSample or KindPrediction), the record count, and
+// the raw records region, which aliases the payload. Record i spans
+// records[i*size : (i+1)*size] (size per SampleRecordSize /
+// PredictionRecordSize) and decodes with the element kind's per-frame
+// decoder; the exact-length slices satisfy their strict length checks.
+//
+//lint:hotpath
+func DecodeBatch(payload []byte) (elem FrameKind, n int, records []byte, err error) {
+	if len(payload) < batchFixed {
+		return KindInvalid, 0, nil, fmt.Errorf("%w: batch %d bytes", ErrShort, len(payload))
+	}
+	if payload[0] != BatchVersion1 {
+		return KindInvalid, 0, nil, fmt.Errorf("%w: batch format %d", ErrBadVersion, payload[0])
+	}
+	elem = FrameKind(payload[1])
+	n = int(binary.BigEndian.Uint16(payload[2:]))
+	var size int
+	switch elem {
+	case KindSample:
+		size = SampleRecordSize
+	case KindPrediction:
+		size = PredictionRecordSize
+	default:
+		return KindInvalid, 0, nil, fmt.Errorf("%w: batch of %v records", ErrBadKind, elem)
+	}
+	if n == 0 || len(payload) != batchFixed+n*size {
+		return KindInvalid, 0, nil, fmt.Errorf("%w: batch of %d %v records in %d-byte payload",
+			ErrShort, n, elem, len(payload))
+	}
+	return elem, n, payload[batchFixed:], nil
 }
 
 // DecodeRollup parses a Rollup payload into r without allocating.

@@ -11,7 +11,7 @@ import (
 func TestRoundTripAllKinds(t *testing.T) {
 	var buf []byte
 	hello := Hello{SessionID: 7, GranularityUops: 100_000_000, Spec: []byte("gpht_8_128")}
-	ack := Ack{SessionID: 7, NumPhases: 6}
+	ack := Ack{SessionID: 7, NumPhases: 6, Flags: FlagSnapshot | FlagBatch}
 	sample := Sample{SessionID: 7, Seq: 41, Uops: 100_000_000, MemTx: 123456, Cycles: 98765432, WallNs: 7_000_111}
 	pred := Prediction{SessionID: 7, Seq: 41, Actual: 3, Next: 5, Class: 5, Setting: 4, Dropped: 2}
 	drain := Drain{SessionID: 7, LastSeq: 41}
@@ -23,23 +23,35 @@ func TestRoundTripAllKinds(t *testing.T) {
 		LastSeq: 41, Processed: 40, Dropped: 2,
 		Spec: []byte("gpht_8_128"), State: []byte{0x4D, 1, 6, 0, 0}}
 
-	buf = AppendHello(buf, &hello)
+	batch := []Sample{
+		{SessionID: 7, Seq: 42, Uops: 100_000_000, MemTx: 654321, Cycles: 87654321, WallNs: 7_000_222},
+		{SessionID: 7, Seq: 43, Uops: 100_000_000, MemTx: 111, Cycles: 76543210, WallNs: 7_000_333},
+	}
+
+	var err error
+	if buf, err = AppendHello(buf, &hello); err != nil {
+		t.Fatal(err)
+	}
 	buf = AppendAck(buf, &ack)
 	buf = AppendSample(buf, &sample)
 	buf = AppendPrediction(buf, &pred)
 	buf = AppendDrain(buf, &drain)
-	buf = AppendError(buf, &errf)
+	if buf, err = AppendError(buf, &errf); err != nil {
+		t.Fatal(err)
+	}
 	buf = AppendRollup(buf, rollup)
-	var err error
 	if buf, err = AppendSnapshot(buf, &snap); err != nil {
 		t.Fatal(err)
 	}
 	if buf, err = AppendRestore(buf, &restore); err != nil {
 		t.Fatal(err)
 	}
+	if buf, err = AppendBatchSamples(buf, batch); err != nil {
+		t.Fatal(err)
+	}
 
 	d := NewDecoder(bytes.NewReader(buf))
-	wantKinds := []FrameKind{KindHello, KindAck, KindSample, KindPrediction, KindDrain, KindError, KindRollup, KindSnapshot, KindRestore}
+	wantKinds := []FrameKind{KindHello, KindAck, KindSample, KindPrediction, KindDrain, KindError, KindRollup, KindSnapshot, KindRestore, KindBatch}
 	for i, want := range wantKinds {
 		kind, payload, err := d.Next()
 		if err != nil {
@@ -125,6 +137,23 @@ func TestRoundTripAllKinds(t *testing.T) {
 				r.Processed != restore.Processed || r.Dropped != restore.Dropped ||
 				string(r.Spec) != string(restore.Spec) || !bytes.Equal(r.State, restore.State) {
 				t.Errorf("restore round trip = %+v, want %+v", r, restore)
+			}
+		case KindBatch:
+			elem, n, recs, err := DecodeBatch(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if elem != KindSample || n != len(batch) {
+				t.Fatalf("batch envelope = %v × %d, want %v × %d", elem, n, KindSample, len(batch))
+			}
+			for j := range batch {
+				var s Sample
+				if err := DecodeSample(recs[j*SampleRecordSize:(j+1)*SampleRecordSize], &s); err != nil {
+					t.Fatal(err)
+				}
+				if s != batch[j] {
+					t.Errorf("batch record %d round trip = %+v, want %+v", j, s, batch[j])
+				}
 			}
 		case KindInvalid:
 			t.Fatalf("decoder returned KindInvalid without error")
@@ -437,7 +466,10 @@ func TestPayloadLengthMismatches(t *testing.T) {
 		t.Errorf("short hello: err = %v, want ErrShort", err)
 	}
 	// Hello whose declared spec length disagrees with the payload.
-	bad := AppendHello(nil, &Hello{SessionID: 1, Spec: []byte("gpht")})
+	bad, err := AppendHello(nil, &Hello{SessionID: 1, Spec: []byte("gpht")})
+	if err != nil {
+		t.Fatal(err)
+	}
 	payload := bad[HeaderSize : len(bad)-TrailerSize]
 	payload[18], payload[19] = 0xFF, 0xFF
 	if err := DecodeHello(payload, &h); !errors.Is(err, ErrShort) {
@@ -449,9 +481,25 @@ func TestPayloadLengthMismatches(t *testing.T) {
 	}
 }
 
-func TestLongSpecTruncated(t *testing.T) {
-	long := strings.Repeat("x", MaxPayload)
-	buf := AppendHello(nil, &Hello{SessionID: 1, Spec: []byte(long)})
+// TestOversizeRejected: an oversized Hello spec or Error message is an
+// encode-side ErrTooLarge, never a silent truncation (the same
+// contract AppendSnapshot/AppendRestore established), while payloads
+// exactly at the bound still encode and round-trip.
+func TestOversizeRejected(t *testing.T) {
+	long := []byte(strings.Repeat("x", MaxPayload))
+	if _, err := AppendHello(nil, &Hello{SessionID: 1, Spec: long}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize hello spec: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := AppendError(nil, &ErrorFrame{Code: CodeBadFrame, Msg: long}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize error msg: err = %v, want ErrTooLarge", err)
+	}
+
+	// At the bound: the largest legal spec still encodes and decodes.
+	max := long[:MaxPayload-helloFixed]
+	buf, err := AppendHello(nil, &Hello{SessionID: 1, Spec: max})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(buf) > MaxFrameSize {
 		t.Fatalf("encoded hello is %d bytes, above MaxFrameSize %d", len(buf), MaxFrameSize)
 	}
@@ -463,8 +511,8 @@ func TestLongSpecTruncated(t *testing.T) {
 	if err := DecodeHello(payload, &h); err != nil {
 		t.Fatal(err)
 	}
-	if len(h.Spec) != MaxPayload-helloFixed {
-		t.Errorf("spec truncated to %d bytes, want %d", len(h.Spec), MaxPayload-helloFixed)
+	if len(h.Spec) != len(max) {
+		t.Errorf("max-size spec round trip = %d bytes, want %d", len(h.Spec), len(max))
 	}
 }
 
@@ -520,7 +568,7 @@ func TestHotPathZeroAlloc(t *testing.T) {
 			if err := DecodePrediction(payload, &dp); err != nil {
 				t.Fatal(err)
 			}
-		case KindInvalid, KindHello, KindAck, KindDrain, KindError, KindRollup, KindSnapshot, KindRestore:
+		case KindInvalid, KindHello, KindAck, KindDrain, KindError, KindRollup, KindSnapshot, KindRestore, KindBatch:
 			t.Fatalf("unexpected kind %v", kind)
 		default:
 			t.Fatalf("unknown kind %v", kind)

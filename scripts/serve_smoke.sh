@@ -55,8 +55,17 @@ curl -fsS "http://$METRICS/healthz" >/dev/null
 
 # Full-speed burst: four nodes, determinism-checked.
 "$OUT/phasefeed" -addr "$ADDR" -nodes 4 -intervals 300 -check | tee "$OUT/phasefeed.log"
+# Batched wire protocol: same bit-identity bar over KindBatch frames.
+"$OUT/phasefeed" -addr "$ADDR" -nodes 4 -intervals 300 -batch 64 -check | tee -a "$OUT/phasefeed.log"
 # Paced run: reconnecting clients at a fixed sample rate.
 "$OUT/phasefeed" -addr "$ADDR" -nodes 2 -intervals 120 -rate 400 -check | tee -a "$OUT/phasefeed.log"
+# Open-loop load probe: no -check (overload sheds by design); the run
+# must still drain cleanly and report its achieved rate.
+"$OUT/phasefeed" -addr "$ADDR" -nodes 2 -intervals 2000 -open -batch 256 | tee -a "$OUT/phasefeed.log"
+if ! grep -q "open-loop" "$OUT/phasefeed.log"; then
+  echo "serve-smoke: open-loop summary line missing" >&2
+  exit 1
+fi
 
 # Give the flusher one bucket length + flush period, then require the
 # merged rollup view to have counted samples.
