@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
-.PHONY: all build test test-short check lint fleet-race race serve-smoke bench bench-json bench-smoke experiments extensions csv clean
+.PHONY: all build test test-short check lint fleet-race race serve-smoke tournament-smoke bench bench-json bench-smoke experiments extensions csv clean
 
 all: build test
 
@@ -46,12 +46,19 @@ fleet-race:
 check: lint fleet-race
 	$(GO) test -race ./...
 	$(MAKE) serve-smoke
+	$(MAKE) tournament-smoke
 
 # End-to-end smoke of the serving stack (DESIGN.md §11): start phased,
 # replay workloads through phasefeed with the bit-identity check on,
 # SIGTERM, and assert a clean drain with zero protocol errors.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end smoke of the predictor tournament (DESIGN.md §16): run
+# phasearena on a 3-workload x 6-spec grid with 2 elimination rounds
+# at -workers 1, 2 and 4 and require byte-identical leaderboard JSON.
+tournament-smoke:
+	./scripts/tournament_smoke.sh
 
 test: check
 
@@ -82,7 +89,8 @@ bench-json:
 	@mkdir -p out
 	$(GO) test -run '^$$' -bench 'BenchmarkGovernorRun$$|BenchmarkGPHTObserve$$|BenchmarkHeadline$$' -benchmem -benchtime=$(BENCHTIME) . > out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetSweep$$' -benchmem -benchtime=$(BENCHTIME) ./internal/fleet >> out/bench.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkMonitorStepAllocs$$|BenchmarkSnapshotRoundTrip$$' -benchmem -benchtime=$(BENCHTIME) ./internal/core >> out/bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkMonitorStepAllocs$$|BenchmarkSnapshotRoundTrip$$|BenchmarkPredictorObserve$$' -benchmem -benchtime=$(BENCHTIME) ./internal/core >> out/bench.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkTournamentRound$$' -benchmem -benchtime=$(SMOKE_BENCHTIME) ./internal/tournament >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkWorkloadCache$$' -benchmem -benchtime=$(BENCHTIME) ./internal/wcache >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkWireRoundTrip$$|BenchmarkRollupEncode$$|BenchmarkBatchRoundTrip$$' -benchmem -benchtime=$(BENCHTIME) ./internal/wire >> out/bench.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkSessionStep$$|BenchmarkSamplesPerSecPerCore$$' -benchmem -benchtime=$(BENCHTIME) ./internal/phased >> out/bench.txt

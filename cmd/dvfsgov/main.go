@@ -31,7 +31,7 @@ import (
 func main() {
 	var (
 		bench     = flag.String("bench", "applu_in", "benchmark name")
-		policy    = flag.String("policy", "gpht", "management policy: gpht, reactive, oracle, or any predictor spec (e.g. gpht_8_1024, fixwindow_8)")
+		policy    = flag.String("policy", "gpht", "management policy: gpht, reactive, oracle, or any predictor spec from the zoo (e.g. gpht_8_1024, fixwindow_8, runlength, markov_2, dtree_4, linreg_16)")
 		workers   = flag.Int("workers", 0, "concurrent runs in compare mode (0 = GOMAXPROCS)")
 		depth     = flag.Int("depth", 8, "GPHT history depth")
 		entries   = flag.Int("entries", 128, "GPHT pattern-table entries")

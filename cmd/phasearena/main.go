@@ -1,0 +1,132 @@
+// Command phasearena races predictor specs against each other on a
+// (workload × granularity × predictor) grid: every cell runs a full
+// governed simulation, cells are scored against the workload's
+// unmanaged baseline (accuracy, CPI error, energy proxy, mispredict
+// breakdown), and round-based elimination narrows the field while
+// doubling the run length.
+//
+// The leaderboard artifact is deterministic: byte-identical at any
+// -workers count, so CI can diff it.
+//
+// Usage:
+//
+//	phasearena                                    # whole zoo on the default triad
+//	phasearena -grid 'workloads=applu_in,swim_in;specs=gpht,markov_2;gran=100000000'
+//	phasearena -rounds 3 -top 4 -o leaderboard.json
+//	phasearena -json                              # artifact to stdout
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"phasemon/internal/tournament"
+)
+
+// defaultWorkloads is the out-of-the-box field: the paper's running
+// example (rapid recurrent phases), a mostly-flat integer code, and a
+// memory-bound floating-point code — three distinct prediction regimes.
+var defaultWorkloads = []string{"applu_in", "gzip_graphic", "swim_in"}
+
+type options struct {
+	grid    string
+	rounds  int
+	top     int
+	workers int
+	out     string
+	jsonOut bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.grid, "grid", "", "tournament grid: semicolon-separated key=value fields with comma lists, e.g. 'workloads=applu_in,swim_in;specs=gpht,markov_2,dtree_4;gran=100000000;intervals=256;seed=1' (empty = whole predictor zoo on a default workload triad)")
+	flag.IntVar(&o.rounds, "rounds", 1, "elimination rounds; each round after the first doubles the per-cell run length")
+	flag.IntVar(&o.top, "top", 0, "specs surviving each round (0 = keep all, rank only)")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent runs (0 = GOMAXPROCS); never affects the leaderboard bytes")
+	flag.StringVar(&o.out, "o", "", "write the leaderboard JSON artifact to this file")
+	flag.BoolVar(&o.jsonOut, "json", false, "write the leaderboard JSON to stdout instead of the ranked table")
+	flag.Parse()
+
+	if err := run(os.Stdout, o); err != nil {
+		fmt.Fprintln(os.Stderr, "phasearena:", err)
+		os.Exit(1)
+	}
+}
+
+// run plays the tournament and renders it — separated from main so
+// tests drive the full CLI path against a buffer.
+func run(w io.Writer, o options) error {
+	var g tournament.Grid
+	if o.grid == "" {
+		g = tournament.Grid{Workloads: defaultWorkloads, Specs: tournament.ZooSpecs()}
+	} else {
+		var err error
+		if g, err = tournament.ParseGrid(o.grid); err != nil {
+			return err
+		}
+	}
+	lb, err := tournament.Run(context.Background(), tournament.Config{
+		Grid:    g,
+		Rounds:  o.rounds,
+		TopK:    o.top,
+		Workers: o.workers,
+	})
+	if err != nil {
+		return err
+	}
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		if err := lb.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.jsonOut {
+		return lb.Encode(w)
+	}
+	report(w, lb)
+	return nil
+}
+
+// report renders the human-readable ranked tables.
+func report(w io.Writer, lb *tournament.Leaderboard) {
+	fmt.Fprintf(w, "tournament: %d workloads x %d specs x %d granularities, %d round(s)\n",
+		len(lb.Grid.Workloads), len(lb.Grid.Specs), len(lb.Grid.Granularities), len(lb.Rounds))
+	for _, r := range lb.Rounds {
+		fmt.Fprintf(w, "\nround %d (%d intervals/cell, %d cells)\n", r.Round, r.Intervals, len(r.Cells))
+		printStandings(w, r.Standings)
+		if len(r.Eliminated) > 0 {
+			fmt.Fprintf(w, "  eliminated:")
+			for _, s := range r.Eliminated {
+				fmt.Fprintf(w, " %s", s)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "\nper-workload winners\n")
+	for _, b := range lb.PerWorkload {
+		if len(b.Standings) > 0 {
+			st := b.Standings[0]
+			fmt.Fprintf(w, "  %-16s %-14s score %+.4f  acc %5.1f%%  EDP %+5.1f%%\n",
+				b.Workload, st.Spec, st.Score, 100*st.Accuracy, 100*st.EDPImprovement)
+		}
+	}
+	fmt.Fprintf(w, "\nwinner: %s\n", lb.Winner)
+}
+
+func printStandings(w io.Writer, standings []tournament.Standing) {
+	fmt.Fprintf(w, "  %4s  %-14s %8s  %6s  %6s  %5s\n", "rank", "spec", "score", "acc", "EDP", "cells")
+	for _, st := range standings {
+		fmt.Fprintf(w, "  %4d  %-14s %+8.4f  %5.1f%%  %+5.1f%%  %5d\n",
+			st.Rank, st.Spec, st.Score, 100*st.Accuracy, 100*st.EDPImprovement, st.Cells)
+	}
+}

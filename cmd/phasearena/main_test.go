@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"phasemon/internal/tournament"
+)
+
+const testGrid = "workloads=applu_in,gzip_graphic;specs=lastvalue,markov_2,gpht_4_64;intervals=48"
+
+// TestRunWorkerInvariance is the command-level acceptance check:
+// the -json artifact is byte-identical at any -workers count.
+func TestRunWorkerInvariance(t *testing.T) {
+	base := options{grid: testGrid, rounds: 2, top: 2, workers: 1, jsonOut: true}
+	var want bytes.Buffer
+	if err := run(&want, base); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		o := base
+		o.workers = workers
+		var got bytes.Buffer
+		if err := run(&got, o); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("leaderboard differs at -workers %d", workers)
+		}
+	}
+}
+
+func TestRunWritesArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "leaderboard.json")
+	var table bytes.Buffer
+	if err := run(&table, options{grid: testGrid, out: path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lb, err := tournament.DecodeLeaderboard(f)
+	if err != nil {
+		t.Fatalf("artifact does not decode: %v", err)
+	}
+	if lb.Winner == "" || len(lb.Overall) != 3 {
+		t.Errorf("artifact winner=%q overall=%d, want a ranked field of 3", lb.Winner, len(lb.Overall))
+	}
+	// The human table rendered alongside must name the same winner.
+	if !strings.Contains(table.String(), "winner: "+lb.Winner) {
+		t.Errorf("table output does not name artifact winner %q:\n%s", lb.Winner, table.String())
+	}
+}
+
+func TestRunHumanReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, options{grid: testGrid, rounds: 2, top: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"round 1", "round 2", "eliminated:", "per-workload winners", "winner: "} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunBadGrid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, options{grid: "specs=gpht"}); err == nil {
+		t.Error("grid without workloads accepted")
+	}
+}
+
+func TestDefaultGridIsValid(t *testing.T) {
+	g := tournament.Grid{Workloads: defaultWorkloads, Specs: tournament.ZooSpecs()}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("default grid invalid: %v", err)
+	}
+}

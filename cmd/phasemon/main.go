@@ -37,7 +37,7 @@ import (
 func main() {
 	var (
 		bench     = flag.String("bench", "applu_in", "benchmark name (comma-separated list in -sweep mode)")
-		predictor = flag.String("predictor", "gpht", "predictor: gpht, lastvalue, fixwindow, varwindow")
+		predictor = flag.String("predictor", "gpht", "predictor spec: gpht, lastvalue, fixwindow, varwindow, duration, runlength, markov_<order>, dtree_<depth>, linreg_<window> (see the README's predictor grammar table)")
 		depth     = flag.Int("depth", 8, "GPHT history depth")
 		entries   = flag.Int("entries", 128, "GPHT pattern-table entries")
 		window    = flag.Int("window", 128, "fixed/variable window size")
@@ -51,7 +51,7 @@ func main() {
 		livePid   = flag.Int("pid", 0, "process to monitor in -live mode (0 = this process)")
 		liveEvery = flag.Duration("period", 100*time.Millisecond, "sampling period in -live mode")
 		liveLoad  = flag.Bool("liveload", true, "generate a synthetic phase-alternating load in -live self-monitoring mode")
-		sweep     = flag.String("sweep", "", "comma-separated predictor specs to compare (monitoring-only) across the -bench benchmarks, e.g. 'lastvalue,gpht_8_128,fixwindow_8'")
+		sweep     = flag.String("sweep", "", "comma-separated predictor specs to compare (monitoring-only) across the -bench benchmarks, e.g. 'lastvalue,gpht_8_128,runlength,markov_2,dtree_4,linreg_16'")
 		workers   = flag.Int("workers", 0, "concurrent runs in -sweep mode (0 = GOMAXPROCS)")
 		phases    = flag.String("phases", "", "custom Mem/Uop phase boundaries, comma-separated (default: the paper's Table 1)")
 		analyze   = flag.Bool("analyze", false, "print stream-structure analysis (entropy, runs, predictability ceiling) after the run")

@@ -65,6 +65,10 @@ const (
 	snapGPHT      = 0x04
 	snapDuration  = 0x05
 	snapOracle    = 0x06
+	snapRunLength = 0x07
+	snapMarkov    = 0x08
+	snapDTree     = 0x09
+	snapLinReg    = 0x0A
 	snapMonitor   = 0x4D // 'M'; monitor envelope, not a predictor
 	snapVersion1  = 1
 )

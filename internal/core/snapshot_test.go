@@ -26,6 +26,14 @@ var snapshotSpecs = []string{
 	"duration",
 	"duration_0.5",
 	"oracle",
+	"runlength",
+	"markov_1",
+	"markov_2",
+	"markov_4",
+	"dtree_2",
+	"dtree_4",
+	"linreg_8",
+	"linreg_64",
 }
 
 // snapshotStimulus drives a predictor through a phase stream with
@@ -167,6 +175,11 @@ func TestSnapshotGeometryMismatch(t *testing.T) {
 		{"fixwindow_16", "fixwindow_16_mean"},
 		{"varwindow_128_0.005", "varwindow_128_0.030"},
 		{"duration_0.25", "duration_0.5"},
+		{"markov_1", "markov_2"},
+		{"dtree_2", "dtree_4"},
+		{"linreg_8", "linreg_16"},
+		{"markov_2", "dtree_4"},
+		{"runlength", "lastvalue"},
 	}
 	for _, pair := range pairs {
 		t.Run(pair[0]+"->"+pair[1], func(t *testing.T) {

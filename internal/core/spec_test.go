@@ -27,6 +27,10 @@ func TestParsePredictorSpec(t *testing.T) {
 		{in: "vw_64", kind: "varwindow", args: 1},
 		{in: "dur_0.5", kind: "duration", args: 1},
 		{in: "oracle", kind: "oracle"},
+		{in: "runlength", kind: "runlength"},
+		{in: "Markov_2", kind: "markov", args: 1},
+		{in: "dtree_4", kind: "dtree", args: 1},
+		{in: "LinReg_16", kind: "linreg", args: 1},
 		{in: "", wantErr: true, errFrag: "empty"},
 		{in: "perceptron", wantErr: true, errFrag: "unknown predictor kind"},
 	}
@@ -76,6 +80,13 @@ func TestNewPredictorFromSpecNames(t *testing.T) {
 		"duration":           "Duration",
 		"duration_0.5":       "Duration",
 		"oracle":             "Oracle",
+		"runlength":          "RunLength",
+		"markov":             "Markov_1",
+		"markov_3":           "Markov_3",
+		"dtree":              "DTree_4",
+		"dtree_6":            "DTree_6",
+		"linreg":             "LinReg_16",
+		"linreg_64":          "LinReg_64",
 	}
 	for in, want := range cases {
 		p, err := NewPredictorFromSpec(in, SpecEnv{})
@@ -101,6 +112,15 @@ func TestNewPredictorFromSpecErrors(t *testing.T) {
 		"varwindow_8_nope",
 		"duration_2.5", // alpha out of (0,1]
 		"oracle_now",
+		"runlength_8", // takes no args
+		"markov_0",    // order out of range
+		"markov_5",    // order above the dense-table bound
+		"markov_x",    // non-numeric order
+		"dtree_0",     // depth out of range
+		"dtree_9",     // depth above the leaf-table bound
+		"dtree_4_gini",
+		"linreg_1", // window below 2
+		"linreg_nope",
 	}
 	for _, in := range bad {
 		if _, err := NewPredictorFromSpec(in, SpecEnv{}); err == nil {
@@ -150,7 +170,7 @@ func TestRegisterPredictorPanics(t *testing.T) {
 
 func TestRegisteredPredictorsSorted(t *testing.T) {
 	kinds := RegisteredPredictors()
-	want := []string{"duration", "fixwindow", "gpht", "lastvalue", "oracle", "varwindow"}
+	want := []string{"dtree", "duration", "fixwindow", "gpht", "lastvalue", "linreg", "markov", "oracle", "runlength", "varwindow"}
 	if len(kinds) < len(want) {
 		t.Fatalf("RegisteredPredictors() = %v, want at least %v", kinds, want)
 	}

@@ -1,0 +1,228 @@
+package core
+
+// StatefulPredictor implementations for the zoo families (zoo.go),
+// following the layout discipline of snapshot.go: one-byte family tag,
+// one-byte version, big-endian fixed layout, geometry validated before
+// any receiver state is touched.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"phasemon/internal/phase"
+)
+
+// --- runLength -----------------------------------------------------
+
+// SnapshotLen implements StatefulPredictor.
+func (p *runLength) SnapshotLen() int { return 12 + 5*p.numPhases }
+
+// Snapshot implements StatefulPredictor.
+//
+//lint:hotpath
+func (p *runLength) Snapshot(dst []byte) []byte {
+	dst = append(dst, snapRunLength, snapVersion1, byte(p.numPhases), byte(p.current))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.runLen))
+	for _, r := range p.lastRun {
+		dst = binary.BigEndian.AppendUint32(dst, r)
+	}
+	for _, n := range p.next {
+		dst = append(dst, byte(n))
+	}
+	return dst
+}
+
+// Restore implements StatefulPredictor.
+func (p *runLength) Restore(src []byte) error {
+	r := snapReader{b: src}
+	if err := r.header(snapRunLength, snapVersion1, "runlength"); err != nil {
+		return err
+	}
+	numPhases := int(r.u8())
+	current := phase.ID(r.u8())
+	runLen := r.u64()
+	if r.short {
+		return fmt.Errorf("%w: runlength snapshot truncated", ErrSnapshot)
+	}
+	if numPhases != p.numPhases {
+		return fmt.Errorf("%w: runlength snapshot has %d phases, predictor has %d",
+			ErrSnapshot, numPhases, p.numPhases)
+	}
+	lastRun := make([]uint32, numPhases)
+	for i := range lastRun {
+		lastRun[i] = r.u32()
+	}
+	nextBytes := r.bytes(numPhases)
+	if err := r.done("runlength"); err != nil {
+		return err
+	}
+	p.current = current
+	p.runLen = int(runLen)
+	copy(p.lastRun, lastRun)
+	for i, b := range nextBytes {
+		p.next[i] = phase.ID(b)
+	}
+	return nil
+}
+
+// --- markov --------------------------------------------------------
+
+// SnapshotLen implements StatefulPredictor.
+func (p *markov) SnapshotLen() int { return 20 + 4*len(p.counts) }
+
+// Snapshot implements StatefulPredictor.
+//
+//lint:hotpath
+func (p *markov) Snapshot(dst []byte) []byte {
+	dst = append(dst, snapMarkov, snapVersion1, byte(p.order), byte(p.numPhases))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.seen))
+	dst = binary.BigEndian.AppendUint64(dst, p.state)
+	for _, c := range p.counts {
+		dst = binary.BigEndian.AppendUint32(dst, c)
+	}
+	return dst
+}
+
+// Restore implements StatefulPredictor.
+func (p *markov) Restore(src []byte) error {
+	r := snapReader{b: src}
+	if err := r.header(snapMarkov, snapVersion1, "markov"); err != nil {
+		return err
+	}
+	order := int(r.u8())
+	numPhases := int(r.u8())
+	seen := r.u64()
+	state := r.u64()
+	if r.short {
+		return fmt.Errorf("%w: markov snapshot truncated", ErrSnapshot)
+	}
+	if order != p.order || numPhases != p.numPhases {
+		return fmt.Errorf("%w: markov snapshot is (order %d, %d phases), predictor is (order %d, %d phases)",
+			ErrSnapshot, order, numPhases, p.order, p.numPhases)
+	}
+	if state >= uint64(p.rows) {
+		return fmt.Errorf("%w: markov snapshot state %d outside %d rows", ErrSnapshot, state, p.rows)
+	}
+	countBytes := r.bytes(4 * len(p.counts))
+	if err := r.done("markov"); err != nil {
+		return err
+	}
+	p.seen = int(seen)
+	p.state = state
+	for i := range p.counts {
+		p.counts[i] = binary.BigEndian.Uint32(countBytes[4*i:])
+	}
+	return nil
+}
+
+// --- dtree ---------------------------------------------------------
+
+// SnapshotLen implements StatefulPredictor.
+func (p *dtree) SnapshotLen() int { return 26 + 4*len(p.counts) }
+
+// Snapshot implements StatefulPredictor. The tree structure (features
+// and thresholds) is a pure function of the spec and classifier, so
+// only the learned leaf counts and window state ride the snapshot.
+//
+//lint:hotpath
+func (p *dtree) Snapshot(dst []byte) []byte {
+	dst = append(dst, snapDTree, snapVersion1, byte(p.depth), byte(p.numPhases), byte(p.last), boolByte(p.havePrev))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.prevMem))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.runLen))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(p.lastLeaf)))
+	for _, c := range p.counts {
+		dst = binary.BigEndian.AppendUint32(dst, c)
+	}
+	return dst
+}
+
+// Restore implements StatefulPredictor.
+func (p *dtree) Restore(src []byte) error {
+	r := snapReader{b: src}
+	if err := r.header(snapDTree, snapVersion1, "dtree"); err != nil {
+		return err
+	}
+	depth := int(r.u8())
+	numPhases := int(r.u8())
+	last := phase.ID(r.u8())
+	havePrev := r.u8() != 0
+	prevMem := r.f64()
+	runLen := r.u64()
+	lastLeaf := int(int32(r.u32()))
+	if r.short {
+		return fmt.Errorf("%w: dtree snapshot truncated", ErrSnapshot)
+	}
+	if depth != p.depth || numPhases != p.numPhases {
+		return fmt.Errorf("%w: dtree snapshot is (depth %d, %d phases), predictor is (depth %d, %d phases)",
+			ErrSnapshot, depth, numPhases, p.depth, p.numPhases)
+	}
+	if lastLeaf < -1 || lastLeaf >= 1<<depth {
+		return fmt.Errorf("%w: dtree snapshot leaf %d outside %d-leaf table", ErrSnapshot, lastLeaf, 1<<depth)
+	}
+	countBytes := r.bytes(4 * len(p.counts))
+	if err := r.done("dtree"); err != nil {
+		return err
+	}
+	p.last = last
+	p.havePrev = havePrev
+	p.prevMem = prevMem
+	p.runLen = int(runLen)
+	p.lastLeaf = lastLeaf
+	for i := range p.counts {
+		p.counts[i] = binary.BigEndian.Uint32(countBytes[4*i:])
+	}
+	return nil
+}
+
+// --- linReg --------------------------------------------------------
+
+// SnapshotLen implements StatefulPredictor.
+func (p *linReg) SnapshotLen() int { return 15 + 8*p.window }
+
+// Snapshot implements StatefulPredictor.
+//
+//lint:hotpath
+func (p *linReg) Snapshot(dst []byte) []byte {
+	dst = append(dst, snapLinReg, snapVersion1, byte(p.last))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.window))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.head))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.count))
+	for _, v := range p.ring {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// Restore implements StatefulPredictor.
+func (p *linReg) Restore(src []byte) error {
+	r := snapReader{b: src}
+	if err := r.header(snapLinReg, snapVersion1, "linreg"); err != nil {
+		return err
+	}
+	last := phase.ID(r.u8())
+	window := int(r.u32())
+	head := int(r.u32())
+	count := int(r.u32())
+	if r.short {
+		return fmt.Errorf("%w: linreg snapshot truncated", ErrSnapshot)
+	}
+	if window != p.window {
+		return fmt.Errorf("%w: linreg snapshot window %d, predictor window %d", ErrSnapshot, window, p.window)
+	}
+	if head < 0 || head >= window || count < 0 || count > window {
+		return fmt.Errorf("%w: linreg snapshot cursor (head %d, count %d) outside window %d",
+			ErrSnapshot, head, count, window)
+	}
+	ringBytes := r.bytes(8 * window)
+	if err := r.done("linreg"); err != nil {
+		return err
+	}
+	p.last = last
+	p.head = head
+	p.count = count
+	for i := range p.ring {
+		p.ring[i] = math.Float64frombits(binary.BigEndian.Uint64(ringBytes[8*i:]))
+	}
+	return nil
+}

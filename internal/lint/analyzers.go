@@ -21,6 +21,7 @@ var simulationPackages = []string{
 	"internal/power",
 	"internal/stats",
 	"internal/thermal",
+	"internal/tournament",
 	"internal/trace",
 	"internal/wcache",
 	"internal/workload",

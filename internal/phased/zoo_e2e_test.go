@@ -1,0 +1,152 @@
+package phased
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"phasemon/internal/phaseclient"
+	"phasemon/internal/wire"
+)
+
+// zooE2ESpecs are the zoo families this file proves end to end: one
+// transition-table predictor and one decision tree — families whose
+// serving-path correctness depends on both spec-registry construction
+// and snapshot/restore, neither of which the incumbent GPHT tests
+// exercise.
+var zooE2ESpecs = []string{"markov_2", "dtree_4"}
+
+// TestZooServedBitIdentity streams zoo predictors through a batched
+// phased session and checks every prediction bit-identical against the
+// local governed run of the same spec — the proof that a family
+// registered in the zoo is deployable, not just testable.
+func TestZooServedBitIdentity(t *testing.T) {
+	_, addr, hub := startServer(t, Config{QueueDepth: 1024})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for si, spec := range zooE2ESpecs {
+		t.Run(spec, func(t *testing.T) {
+			want := localRun(t, spec, "mcf_inp", 500)
+			cl := phaseclient.New(phaseclient.Config{Addr: addr, BatchSize: 64})
+			defer cl.Close()
+			sess, numPhases, err := cl.Open(ctx, uint64(100+si), spec, 100e6)
+			if err != nil {
+				t.Fatalf("Open(%s): %v", spec, err)
+			}
+			if numPhases != 6 {
+				t.Fatalf("Ack.NumPhases = %d, want 6", numPhases)
+			}
+			go func() {
+				for i, e := range want {
+					_ = sess.Send(wire.Sample{Seq: uint64(i), Uops: e.Uops, MemTx: e.MemTx, Cycles: e.Cycles})
+				}
+			}()
+			for i, e := range want {
+				p, err := sess.Recv(ctx)
+				if err != nil {
+					t.Fatalf("Recv #%d: %v", i, err)
+				}
+				if p.Seq != uint64(i) {
+					t.Fatalf("prediction #%d out of order: seq %d", i, p.Seq)
+				}
+				if p.Actual != uint8(e.Actual) || p.Next != uint8(e.Predicted) {
+					t.Fatalf("prediction #%d diverged: got actual=%d next=%d, local run had actual=%d predicted=%d",
+						i, p.Actual, p.Next, e.Actual, e.Predicted)
+				}
+			}
+			if d, err := sess.Drain(ctx); err != nil {
+				t.Fatalf("Drain: %v", err)
+			} else if d.LastSeq != uint64(len(want)-1) {
+				t.Fatalf("Drain.LastSeq = %d, want %d", d.LastSeq, len(want)-1)
+			}
+		})
+	}
+	if n := hub.PhasedProtocolErrors.Value(); n != 0 {
+		t.Errorf("protocol errors = %d, want 0", n)
+	}
+	if n := hub.PhasedFlushes.Value(); n == 0 {
+		t.Error("coalescer flush counter = 0 after batched zoo sessions")
+	}
+}
+
+// TestZooDrainResumeMigration kills the server halfway through a
+// batched zoo session and resumes from the snapshot on a fresh server:
+// the stitched stream must match the uninterrupted local run bit for
+// bit. This is the StatefulPredictor contract exercised over the wire
+// — a zoo family whose Snapshot/Restore drops state diverges here.
+func TestZooDrainResumeMigration(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for si, spec := range zooE2ESpecs {
+		t.Run(spec, func(t *testing.T) {
+			want := localRun(t, spec, "mcf_inp", 400)
+			half := len(want) / 2
+
+			srvA, addrA, _ := startServer(t, Config{Workers: 3, QueueDepth: 1024})
+			clA := phaseclient.New(phaseclient.Config{Addr: addrA, BatchSize: 32})
+			defer clA.Close()
+			sess, _, err := clA.OpenResumable(ctx, uint64(200+si), spec, 100e6)
+			if err != nil {
+				t.Fatalf("OpenResumable(%s): %v", spec, err)
+			}
+			for i := 0; i < half; i++ {
+				e := want[i]
+				if err := sess.Send(wire.Sample{Seq: uint64(i), Uops: e.Uops, MemTx: e.MemTx, Cycles: e.Cycles}); err != nil {
+					t.Fatalf("Send #%d: %v", i, err)
+				}
+			}
+			for i := 0; i < half; i++ {
+				p, err := sess.Recv(ctx)
+				if err != nil {
+					t.Fatalf("Recv #%d: %v", i, err)
+				}
+				if p.Seq != uint64(i) || p.Actual != uint8(want[i].Actual) || p.Next != uint8(want[i].Predicted) {
+					t.Fatalf("pre-drain prediction #%d diverged", i)
+				}
+			}
+
+			shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer shutCancel()
+			if err := srvA.Shutdown(shutCtx); err != nil {
+				t.Fatalf("Shutdown: %v", err)
+			}
+			<-sess.Drained()
+			snap, ok := sess.Snapshot()
+			if !ok {
+				t.Fatal("no snapshot after server drain")
+			}
+
+			_, addrB, _ := startServer(t, Config{Workers: 2, QueueDepth: 1024})
+			clB := phaseclient.New(phaseclient.Config{Addr: addrB, BatchSize: 32})
+			defer clB.Close()
+			resumed, _, err := clB.Resume(ctx, snap)
+			if err != nil {
+				t.Fatalf("Resume(%s): %v", spec, err)
+			}
+			for i := half; i < len(want); i++ {
+				e := want[i]
+				if err := resumed.Send(wire.Sample{Seq: uint64(i), Uops: e.Uops, MemTx: e.MemTx, Cycles: e.Cycles}); err != nil {
+					t.Fatalf("Send #%d: %v", i, err)
+				}
+			}
+			for i := half; i < len(want); i++ {
+				p, err := resumed.Recv(ctx)
+				if err != nil {
+					t.Fatalf("post-resume Recv #%d: %v", i, err)
+				}
+				if p.Seq != uint64(i) {
+					t.Fatalf("post-resume prediction #%d out of order: seq %d", i, p.Seq)
+				}
+				if p.Actual != uint8(want[i].Actual) || p.Next != uint8(want[i].Predicted) {
+					t.Fatalf("post-resume prediction #%d diverged: got actual=%d next=%d, uninterrupted run had actual=%d predicted=%d",
+						i, p.Actual, p.Next, want[i].Actual, want[i].Predicted)
+				}
+			}
+			if d, err := resumed.Drain(ctx); err != nil {
+				t.Fatalf("Drain: %v", err)
+			} else if d.LastSeq != uint64(len(want)-1) {
+				t.Fatalf("Drain.LastSeq = %d, want %d", d.LastSeq, len(want)-1)
+			}
+		})
+	}
+}

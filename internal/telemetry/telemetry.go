@@ -61,6 +61,11 @@ const (
 	MetricPhasedFlushFrames    = "phasemon_phased_flush_frames"
 	MetricPhasedFlushSeconds   = "phasemon_phased_flush_seconds"
 
+	// Tournament counters (the tournament package).
+	MetricTournamentCells      = "phasemon_tournament_cells_total"
+	MetricTournamentRounds     = "phasemon_tournament_rounds_total"
+	MetricTournamentEliminated = "phasemon_tournament_eliminated_total"
+
 	// Rollup-pipeline self-telemetry (the agg package).
 	MetricAggIngested       = "phasemon_agg_ingested_total"
 	MetricAggRollups        = "phasemon_agg_rollups_total"
@@ -155,6 +160,12 @@ type Hub struct {
 	WorkloadCacheMisses    *Counter
 	WorkloadCacheEvictions *Counter
 
+	// Tournament counters: grid cells scored, rounds completed, and
+	// predictor specs eliminated across all rounds.
+	TournamentCells      *Counter
+	TournamentRounds     *Counter
+	TournamentEliminated *Counter
+
 	// Gauges of current state.
 	CurrentPhase   *Gauge
 	PredictedPhase *Gauge
@@ -229,6 +240,10 @@ func NewHub(numPhases int, opts ...HubOption) *Hub {
 		WorkloadCacheHits:      reg.Counter(MetricWorkloadHits),
 		WorkloadCacheMisses:    reg.Counter(MetricWorkloadMisses),
 		WorkloadCacheEvictions: reg.Counter(MetricWorkloadEvicted),
+
+		TournamentCells:      reg.Counter(MetricTournamentCells),
+		TournamentRounds:     reg.Counter(MetricTournamentRounds),
+		TournamentEliminated: reg.Counter(MetricTournamentEliminated),
 
 		PhasedFramesIn:       reg.Counter(MetricPhasedFramesIn),
 		PhasedFramesOut:      reg.Counter(MetricPhasedFramesOut),
